@@ -1,0 +1,60 @@
+"""Ablation: the Dalvik trace JIT on vs off.
+
+DESIGN.md calls out the JIT's role in two artifacts: the
+dalvik-jit-code-cache instruction region (Figure 1) and the Compiler
+thread (Table I).  Disabling it must erase both and push execution back
+into libdvm.so.
+"""
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+from benchmarks.conftest import write_artifact
+
+ABLATION_BENCHES = ("frozenbubble.main", "jetboy.main", "aard.main")
+
+
+@pytest.fixture(scope="module")
+def jit_pair():
+    runner = SuiteRunner()
+    on_cfg = RunConfig(duration_ticks=seconds(2), settle_ticks=millis(300),
+                       jit_enabled=True)
+    off_cfg = RunConfig(duration_ticks=seconds(2), settle_ticks=millis(300),
+                        jit_enabled=False)
+    on = {b: runner.run(b, on_cfg) for b in ABLATION_BENCHES}
+    off = {b: runner.run(b, off_cfg) for b in ABLATION_BENCHES}
+    return on, off
+
+
+def test_jit_ablation(benchmark, jit_pair, results_dir):
+    on, off = jit_pair
+
+    def summarise():
+        lines = ["JIT ablation (share of run instruction reads)"]
+        lines.append(f"{'benchmark':<22} {'jit-cache on':>14} {'jit-cache off':>14}"
+                     f" {'libdvm on':>11} {'libdvm off':>11}")
+        for b in ABLATION_BENCHES:
+            lines.append(
+                f"{b:<22}"
+                f" {100 * on[b].region_share('dalvik-jit-code-cache'):>14.2f}"
+                f" {100 * off[b].region_share('dalvik-jit-code-cache'):>14.2f}"
+                f" {100 * on[b].region_share('libdvm.so'):>11.2f}"
+                f" {100 * off[b].region_share('libdvm.so'):>11.2f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    report = benchmark(summarise)
+    write_artifact(results_dir, "ablation_jit.txt", report)
+    print()
+    print(report)
+
+    for b in ABLATION_BENCHES:
+        assert on[b].instr_by_region.get("dalvik-jit-code-cache", 0) > 0, b
+        assert off[b].instr_by_region.get("dalvik-jit-code-cache", 0) == 0, b
+        # The Compiler thread disappears.
+        comm = on[b].benchmark_comm
+        assert off[b].refs_by_thread.get((comm, "Compiler"), 0) == 0, b
+    # Where hot loops dominate, the interpreter visibly absorbs the load.
+    hot = "frozenbubble.main"
+    assert off[hot].region_share("libdvm.so") > on[hot].region_share("libdvm.so")

@@ -1,0 +1,58 @@
+"""Ablation: foreground vs background application modes.
+
+The suite ships fg/bkg pairs (music, vlc, pm) precisely to expose how the
+profile shifts when the UI goes away: SurfaceFlinger and mspace collapse
+while the service-side work (decode, install) persists.
+"""
+
+import pytest
+
+from repro.analysis.tables import table1
+from benchmarks.conftest import write_artifact
+
+PAIRS = (
+    ("music.mp3.view", "music.mp3.view.bkg"),
+    ("vlc.mp3.view", "vlc.mp3.view.bkg"),
+    ("pm.apk.view", "pm.apk.view.bkg"),
+)
+
+
+def sf_share(run) -> float:
+    return run.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0) / max(
+        run.total_refs, 1
+    )
+
+
+def test_mode_ablation(benchmark, paper_suite, results_dir):
+    def summarise():
+        lines = ["Foreground vs background (SurfaceFlinger share of run refs)"]
+        lines.append(f"{'pair':<20} {'foreground':>12} {'background':>12}")
+        for fg_id, bkg_id in PAIRS:
+            fg, bkg = paper_suite.get(fg_id), paper_suite.get(bkg_id)
+            lines.append(
+                f"{fg_id.split('.view')[0]:<20}"
+                f" {100 * sf_share(fg):>12.2f} {100 * sf_share(bkg):>12.2f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    report = benchmark(summarise)
+    write_artifact(results_dir, "ablation_modes.txt", report)
+    print()
+    print(report)
+
+    for fg_id, bkg_id in PAIRS:
+        fg, bkg = paper_suite.get(fg_id), paper_suite.get(bkg_id)
+        # UI gone -> SurfaceFlinger share collapses.
+        assert sf_share(bkg) < sf_share(fg), (fg_id, bkg_id)
+        # The substantive work survives the mode switch.
+        if "music" in fg_id:
+            assert bkg.proc_share("mediaserver") > 0.3
+        if "vlc" in fg_id:
+            assert bkg.instr_by_region.get("libvlccore.so", 0) > 0
+        if "pm" in fg_id:
+            assert bkg.instr_by_proc.get("dexopt", 0) > 0
+
+
+def test_background_mode_has_no_window(paper_suite):
+    for _, bkg_id in PAIRS:
+        assert paper_suite.get(bkg_id).meta["frames_drawn"] == 0

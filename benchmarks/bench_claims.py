@@ -1,0 +1,17 @@
+"""Scalar claims — every numeric statement in the paper's prose."""
+
+from repro.analysis.claims import evaluate_claims
+from repro.analysis.render import render_claims
+from benchmarks.conftest import write_artifact
+
+
+def test_claims_regenerate(benchmark, paper_suite, results_dir):
+    claims = benchmark(evaluate_claims, paper_suite)
+
+    report = render_claims(claims)
+    write_artifact(results_dir, "claims.txt", report)
+    print()
+    print(report)
+
+    failing = [c.claim_id for c in claims if not c.holds]
+    assert not failing, f"claims outside band: {failing}"

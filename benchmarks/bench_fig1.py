@@ -1,0 +1,40 @@
+"""Figure 1 — % instruction reads by VMA region, per benchmark.
+
+Regenerates the paper's first figure from the full suite run and checks
+the measured legend against the paper's: mspace and libdvm.so must
+dominate the Agave bars while SPEC concentrates in app binary + kernel.
+"""
+
+from repro.analysis.figures import figure1
+from repro.analysis.paper import PAPER_FIG1_REGIONS, legend_overlap
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_stacked_ascii,
+)
+from benchmarks.conftest import write_artifact
+
+
+def test_fig1_regenerate(benchmark, paper_suite, results_dir):
+    fig = benchmark(figure1, paper_suite)
+    fig.check_sums()
+
+    table = render_breakdown_table(fig)
+    write_artifact(results_dir, "figure1.txt", table + "\n" + render_stacked_ascii(fig))
+    write_artifact(results_dir, "figure1.csv", render_breakdown_csv(fig))
+    print()
+    print(table)
+
+    # Shape checks against the paper.
+    assert legend_overlap(fig.categories, PAPER_FIG1_REGIONS) >= 0.6
+    assert "mspace" in fig.categories
+    assert "libdvm.so" in fig.categories
+    # SPEC bars: app binary + OS kernel ~everything.
+    for spec in ("401.bzip2", "429.mcf", "456.hmmer", "458.sjeng",
+                 "462.libquantum", "999.specrand"):
+        col = fig.column(spec)
+        concentration = col.get("app binary", 0) + col.get("OS kernel", 0)
+        assert concentration > 90.0, (spec, concentration)
+    # Agave bars are spread across many regions.
+    agave_col = fig.column("aard.main")
+    assert max(agave_col.values()) < 90.0

@@ -1,0 +1,37 @@
+"""Figure 2 — % data references by VMA region, per benchmark."""
+
+from repro.analysis.figures import figure2
+from repro.analysis.paper import PAPER_FIG2_REGIONS, legend_overlap
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_stacked_ascii,
+)
+from benchmarks.conftest import write_artifact
+
+
+def test_fig2_regenerate(benchmark, paper_suite, results_dir):
+    fig = benchmark(figure2, paper_suite)
+    fig.check_sums()
+
+    table = render_breakdown_table(fig)
+    write_artifact(results_dir, "figure2.txt", table + "\n" + render_stacked_ascii(fig))
+    write_artifact(results_dir, "figure2.csv", render_breakdown_csv(fig))
+    print()
+    print(table)
+
+    assert legend_overlap(fig.categories, PAPER_FIG2_REGIONS) >= 0.6
+    # SPEC data lives in the classic trio (+ kernel).
+    for spec in ("401.bzip2", "462.libquantum", "999.specrand"):
+        col = fig.column(spec)
+        classic = (col.get("anonymous", 0) + col.get("heap", 0)
+                   + col.get("stack", 0) + col.get("OS kernel", 0))
+        assert classic > 80.0, (spec, classic)
+    # Agave data reaches the Android-only regions.
+    for bench in ("frozenbubble.main", "gallery.mp4.view"):
+        col = fig.column(bench)
+        android_only = (col.get("gralloc-buffer", 0) + col.get("dalvik-heap", 0)
+                        + col.get("fb0 (frame buffer)", 0))
+        assert android_only > 10.0, (bench, android_only)
+    # Suite-wide the long tail is large (paper: other (169 items)).
+    assert fig.other_items >= 60

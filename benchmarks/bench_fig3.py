@@ -1,0 +1,33 @@
+"""Figure 3 — % instruction reads by process, per benchmark."""
+
+from repro.analysis.figures import figure3
+from repro.analysis.paper import PAPER_FIG3_PROCS, legend_overlap
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_stacked_ascii,
+)
+from benchmarks.conftest import write_artifact
+
+
+def test_fig3_regenerate(benchmark, paper_suite, results_dir):
+    fig = benchmark(figure3, paper_suite)
+    fig.check_sums()
+
+    table = render_breakdown_table(fig)
+    write_artifact(results_dir, "figure3.txt", table + "\n" + render_stacked_ascii(fig))
+    write_artifact(results_dir, "figure3.csv", render_breakdown_csv(fig))
+    print()
+    print(table)
+
+    assert legend_overlap(fig.categories, PAPER_FIG3_PROCS) >= 0.6
+    # The paper's headline: mediaserver carries gallery.mp4.view.
+    gallery = fig.column("gallery.mp4.view")
+    assert gallery.get("mediaserver", 0) > 60.0
+    # SPEC: the benchmark process is nearly everything.
+    assert fig.column("462.libquantum").get("benchmark", 0) > 90.0
+    # Install flow shows dexopt prominently for pm.apk bars.
+    assert fig.column("pm.apk.view").get("dexopt", 0) > 5.0
+    # Background variants shift work out of the benchmark process.
+    fg = fig.column("music.mp3.view").get("mediaserver", 0)
+    assert fg > 30.0

@@ -1,0 +1,32 @@
+"""Figure 4 — % data references by process, per benchmark."""
+
+from repro.analysis.figures import figure4
+from repro.analysis.paper import PAPER_FIG4_PROCS, legend_overlap
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_stacked_ascii,
+)
+from benchmarks.conftest import write_artifact
+
+
+def test_fig4_regenerate(benchmark, paper_suite, results_dir):
+    fig = benchmark(figure4, paper_suite)
+    fig.check_sums()
+
+    table = render_breakdown_table(fig)
+    write_artifact(results_dir, "figure4.txt", table + "\n" + render_stacked_ascii(fig))
+    write_artifact(results_dir, "figure4.csv", render_breakdown_csv(fig))
+    print()
+    print(table)
+
+    assert legend_overlap(fig.categories, PAPER_FIG4_PROCS) >= 0.6
+    # Paper: mediaserver carries 77% of gallery.mp4.view data references.
+    gallery = fig.column("gallery.mp4.view")
+    assert gallery.get("mediaserver", 0) > 55.0
+    # SPEC bars: single-process data.
+    assert fig.column("401.bzip2").get("benchmark", 0) > 85.0
+    # id.defcontainer appears on the install benchmark's data axis.
+    pm_col = fig.column("pm.apk.view")
+    dc_share = pm_col.get("id.defcontainer", 0.0)
+    assert dc_share > 0.5 or "id.defcontainer" not in fig.categories

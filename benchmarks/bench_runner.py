@@ -1,0 +1,34 @@
+"""Harness throughput: wall-clock cost of simulating one benchmark.
+
+Not a paper artifact — this measures the reproduction itself, so users
+know what a full-suite regeneration costs on their machine.
+"""
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis
+
+
+@pytest.mark.parametrize(
+    "bench_id", ["music.mp3.view", "doom.main", "401.bzip2"]
+)
+def test_single_run_throughput(benchmark, bench_id):
+    runner = SuiteRunner()
+    cfg = RunConfig(duration_ticks=millis(800), settle_ticks=millis(200))
+    result = benchmark(runner.run, bench_id, cfg)
+    assert result.total_refs > 0
+
+
+def test_boot_throughput(benchmark):
+    from repro.android.boot import boot_android
+    from repro.sim.system import System
+
+    def boot_and_settle():
+        system = System(seed=1)
+        boot_android(system)
+        system.run_for(millis(300))
+        return system
+
+    system = benchmark(boot_and_settle)
+    assert system.kernel.process_count() >= 20

@@ -1,0 +1,62 @@
+"""Window-length sweep: breakdown convergence.
+
+Verifies the methodology: the percentage breakdowns reported by the
+figures stabilise as the measurement window grows, so the 4s default
+windows faithfully represent steady-state behaviour.
+"""
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+from benchmarks.conftest import write_artifact
+
+WINDOWS_MS = (500, 1_000, 2_000, 4_000)
+BENCH = "frozenbubble.main"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    runner = SuiteRunner()
+    runs = {}
+    for ms in WINDOWS_MS:
+        cfg = RunConfig(duration_ticks=millis(ms), settle_ticks=millis(300))
+        runs[ms] = runner.run(BENCH, cfg)
+    return runs
+
+
+def test_scaling_sweep(benchmark, sweep, results_dir):
+    def summarise():
+        lines = [f"Window sweep for {BENCH} (top instruction regions, %)"]
+        lines.append(f"{'window':<10} {'mspace':>9} {'libdvm.so':>10} "
+                     f"{'jit-cache':>10} {'OS kernel':>10} {'refs':>14}")
+        for ms in WINDOWS_MS:
+            run = sweep[ms]
+            lines.append(
+                f"{ms:>6}ms  "
+                f" {100 * run.region_share('mspace'):>8.1f}"
+                f" {100 * run.region_share('libdvm.so'):>10.1f}"
+                f" {100 * run.region_share('dalvik-jit-code-cache'):>10.1f}"
+                f" {100 * run.region_share('OS kernel'):>10.1f}"
+                f" {run.total_refs:>14,}"
+            )
+        return "\n".join(lines) + "\n"
+
+    report = benchmark(summarise)
+    write_artifact(results_dir, "scaling.txt", report)
+    print()
+    print(report)
+
+    # Reference volume grows roughly linearly with the window.
+    small = sweep[WINDOWS_MS[0]].total_refs
+    large = sweep[WINDOWS_MS[-1]].total_refs
+    ratio = WINDOWS_MS[-1] / WINDOWS_MS[0]
+    assert large > small * ratio * 0.4
+
+    # The dominant-region share converges: the two longest windows agree
+    # more closely than the two shortest.
+    def mspace(ms):
+        return sweep[ms].region_share("mspace")
+
+    drift_long = abs(mspace(WINDOWS_MS[-1]) - mspace(WINDOWS_MS[-2]))
+    assert drift_long < 0.12

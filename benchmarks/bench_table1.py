@@ -1,0 +1,32 @@
+"""Table I — memory references from the most-executed threads.
+
+Regenerates the paper's thread ranking across the 19 Agave runs and
+prints it side by side with the published numbers.
+"""
+
+from repro.analysis.paper import PAPER_TABLE1, compare_table1
+from repro.analysis.render import render_table1
+from repro.analysis.tables import table1
+from benchmarks.conftest import write_artifact
+
+
+def test_table1_regenerate(benchmark, paper_suite, results_dir):
+    table = benchmark(table1, paper_suite)
+
+    rendered = render_table1(table, top_n=10)
+    comparison = compare_table1(table)
+    write_artifact(results_dir, "table1.txt", rendered + "\n" + comparison)
+    print()
+    print(rendered)
+    print(comparison)
+
+    # The headline: SurfaceFlinger is the single most-executed thread.
+    assert table.rows[0].thread == "SurfaceFlinger"
+    assert 25.0 <= table.rows[0].percent <= 60.0
+    # Every paper thread family appears with a material share.
+    ranked = {row.thread: row.percent for row in table.rows}
+    for family in PAPER_TABLE1:
+        assert ranked.get(family, 0.0) > 1.0, family
+    # And together the six families carry most of the suite (paper: 77.3%).
+    six = sum(ranked.get(f, 0.0) for f in PAPER_TABLE1)
+    assert six > 45.0

@@ -1,0 +1,51 @@
+"""Benchmark-harness fixtures.
+
+``paper_suite`` runs all 25 benchmarks once per session at full window
+length; each bench module then regenerates one of the paper's artifacts
+from it (writing the rendered output under ``benchmarks/results/``) while
+pytest-benchmark times the regeneration plus representative reruns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Full-length measurement windows (the shapes stabilise well before 4s).
+PAPER_CONFIG = RunConfig(
+    duration_ticks=seconds(4), settle_ticks=millis(400), seed=20160417
+)
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> RunConfig:
+    """The configuration used for the paper-artifact runs."""
+    return PAPER_CONFIG
+
+
+@pytest.fixture(scope="session")
+def paper_suite(paper_config):
+    """All 25 benchmarks at full length (run once per session)."""
+    runner = SuiteRunner(paper_config)
+    return runner.run_suite()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory collecting the regenerated artifacts."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: str, name: str, content: str) -> str:
+    """Persist one regenerated artifact and return its path."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return path

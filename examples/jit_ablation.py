@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Ablation study: what the Dalvik trace JIT contributes.
+
+Runs a JIT-hungry game with the trace JIT on and off, then shows the two
+artifacts the JIT creates in the paper's data: the
+``dalvik-jit-code-cache`` instruction region and the ``Compiler`` thread.
+
+Run:  python examples/jit_ablation.py
+"""
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+
+BENCH = "frozenbubble.main"
+
+
+def describe(tag: str, run) -> None:
+    comm = run.benchmark_comm
+    jit_share = 100 * run.region_share("dalvik-jit-code-cache")
+    dvm_share = 100 * run.region_share("libdvm.so")
+    compiler = run.refs_by_thread.get((comm, "Compiler"), 0)
+    print(f"{tag}:")
+    print(f"  traces compiled:        {run.meta['jit_compiled']}")
+    print(f"  jit-code-cache instr:   {jit_share:5.2f}%")
+    print(f"  libdvm.so (interpreter):{dvm_share:6.2f}%")
+    print(f"  Compiler thread refs:   {compiler:,}")
+    print(f"  total refs:             {run.total_refs:,}")
+
+
+def main() -> None:
+    runner = SuiteRunner()
+    base = dict(duration_ticks=seconds(3), settle_ticks=millis(300))
+    print(f"running {BENCH} with the trace JIT on and off ...\n")
+    on = runner.run(BENCH, RunConfig(**base, jit_enabled=True))
+    off = runner.run(BENCH, RunConfig(**base, jit_enabled=False))
+
+    describe("JIT enabled", on)
+    print()
+    describe("JIT disabled (-Xint)", off)
+
+    print("\nWith the JIT off the code cache is silent, the Compiler thread")
+    print("never runs, and the hot game loops fall back to the libdvm.so")
+    print("interpreter — the knob behind the Compiler row of Table I.")
+
+
+if __name__ == "__main__":
+    main()

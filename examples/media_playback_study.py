@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Media playback study: where does decoding actually run?
+
+The suite's media benchmarks are designed as contrasts:
+
+* music.mp3.view   — stock player, decode in **mediaserver** (stagefright)
+* vlc.mp3.view     — VLC, decode **in-process** (NDK libvlccore)
+* gallery.mp4.view — video through the overlay path, mediaserver-dominated
+* vlc.mp4.view     — software video, composited by SurfaceFlinger
+
+This script runs all four plus their background variants and prints the
+process-level split, reproducing the contrast visible across the paper's
+Figure 3 media bars.
+
+Run:  python examples/media_playback_study.py
+"""
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+
+BENCHES = (
+    "music.mp3.view",
+    "music.mp3.view.bkg",
+    "vlc.mp3.view",
+    "vlc.mp3.view.bkg",
+    "gallery.mp4.view",
+    "vlc.mp4.view",
+)
+
+
+def main() -> None:
+    runner = SuiteRunner(RunConfig(duration_ticks=seconds(4),
+                                   settle_ticks=millis(400)))
+    print("running 6 media benchmarks ...\n")
+    suite = runner.run_suite(BENCHES)
+
+    header = (f"{'benchmark':<22} {'app %':>7} {'mediaserver %':>14} "
+              f"{'system_server %':>16} {'SF thread %':>12}")
+    print(header)
+    print("-" * len(header))
+    for bench_id in BENCHES:
+        run = suite.get(bench_id)
+        sf = run.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0)
+        print(
+            f"{bench_id:<22}"
+            f" {100 * run.proc_share(run.benchmark_comm):>7.1f}"
+            f" {100 * run.proc_share('mediaserver'):>14.1f}"
+            f" {100 * run.proc_share('system_server'):>16.1f}"
+            f" {100 * sf / run.total_refs:>12.1f}"
+        )
+
+    print("\nReadings:")
+    print(" * music/gallery route decode through mediaserver (stock path);")
+    print("   VLC keeps the codecs in the benchmark process (NDK path).")
+    print(" * background variants drop the SurfaceFlinger share to ~0:")
+    print("   no window, nothing to composite.")
+    print(" * vlc.mp4 software video makes SurfaceFlinger work again —")
+    print("   gallery.mp4 avoids that through the hardware overlay.")
+
+
+if __name__ == "__main__":
+    main()

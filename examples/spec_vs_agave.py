@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The paper's core contrast: Android applications vs SPEC CPU2006.
+
+Runs two Agave apps and two SPEC baselines, then prints the numbers the
+paper's conclusions rest on: region counts, process counts and where the
+instruction stream actually comes from.
+
+Run:  python examples/spec_vs_agave.py
+"""
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis, seconds
+
+BENCHES = ("frozenbubble.main", "osmand.map.view", "401.bzip2", "458.sjeng")
+
+
+def main() -> None:
+    runner = SuiteRunner(RunConfig(duration_ticks=seconds(4),
+                                   settle_ticks=millis(400)))
+    print("running 2 Agave + 2 SPEC benchmarks ...\n")
+    suite = runner.run_suite(BENCHES)
+
+    header = (f"{'benchmark':<20} {'code rgns':>10} {'data rgns':>10} "
+              f"{'procs':>6} {'threads':>8} {'own-proc %':>11} "
+              f"{'top region':>22}")
+    print(header)
+    print("-" * len(header))
+    for bench_id in BENCHES:
+        run = suite.get(bench_id)
+        top_region = max(run.instr_by_region, key=run.instr_by_region.get)
+        print(
+            f"{bench_id:<20}"
+            f" {run.code_region_count():>10}"
+            f" {run.data_region_count():>10}"
+            f" {run.live_processes:>6}"
+            f" {run.thread_count():>8}"
+            f" {100 * run.benchmark_share_instr():>11.1f}"
+            f" {top_region:>22}"
+        )
+
+    print("\nThe Agave rows touch 40+ regions across 25+ processes with the")
+    print("application process executing only part of the work; the SPEC")
+    print("rows are one process fetching nearly everything from their own")
+    print("binary — the paper's argument for why traditional suites cannot")
+    print("drive Android-stack studies.")
+
+
+if __name__ == "__main__":
+    main()

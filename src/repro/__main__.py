@@ -1,0 +1,168 @@
+"""Command-line interface: run benchmarks and regenerate paper artifacts.
+
+Usage (installed as ``agave-repro`` or ``python -m repro``)::
+
+    python -m repro list
+    python -m repro run music.mp3.view --duration 4
+    python -m repro suite --out suite.json
+    python -m repro figures --results suite.json --figure 1
+    python -m repro table1 --results suite.json
+    python -m repro claims --results suite.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    evaluate_claims,
+    table1,
+)
+from repro.analysis.figures import build_figure
+from repro.analysis.paper import compare_table1
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_claims,
+    render_stacked_ascii,
+    render_table1,
+)
+from repro.core import RunConfig, SuiteResult, SuiteRunner, benchmarks
+from repro.sim.ticks import millis, seconds
+
+
+def _config(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(
+        duration_ticks=seconds(args.duration),
+        settle_ticks=millis(args.settle_ms),
+        seed=args.seed,
+        jit_enabled=not args.no_jit,
+    )
+
+
+def _load_or_run(args: argparse.Namespace) -> SuiteResult:
+    if args.results:
+        return SuiteResult.load(args.results)
+    runner = SuiteRunner(_config(args))
+    return runner.run_suite()
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for bench in benchmarks():
+        kind = "agave" if bench.is_android else "spec "
+        print(f"{bench.bench_id:<22} [{kind}] {bench.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = SuiteRunner(_config(args))
+    run = runner.run(args.benchmark)
+    print(f"{run.bench_id}: {run.total_refs:,} references "
+          f"({run.total_instr:,} instr / {run.total_data:,} data)")
+    print(f"processes {run.live_processes}, threads {run.thread_count()}, "
+          f"regions {run.code_region_count()}c/{run.data_region_count()}d")
+    for axis, table in (
+        ("instruction regions", run.instr_by_region),
+        ("data regions", run.data_by_region),
+        ("processes (instr)", run.instr_by_proc),
+    ):
+        total = sum(table.values())
+        print(f"\ntop {axis}:")
+        for key, value in sorted(table.items(), key=lambda kv: -kv[1])[:8]:
+            print(f"  {key:<30} {100 * value / total:6.1f}%")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    runner = SuiteRunner(_config(args))
+    suite = runner.run_suite()
+    if args.out:
+        suite.save(args.out)
+        print(f"saved {len(suite.ids())} runs to {args.out}")
+    else:
+        for bench_id in suite.ids():
+            print(f"{bench_id:<22} {suite.get(bench_id).total_refs:>15,} refs")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    suite = _load_or_run(args)
+    numbers = [args.figure] if args.figure else [1, 2, 3, 4]
+    for number in numbers:
+        fig = build_figure(number, suite)
+        if args.csv:
+            print(render_breakdown_csv(fig))
+        else:
+            print(render_breakdown_table(fig))
+            if args.ascii:
+                print(render_stacked_ascii(fig))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    suite = _load_or_run(args)
+    table = table1(suite)
+    print(render_table1(table, top_n=args.top))
+    print(compare_table1(table))
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    suite = _load_or_run(args)
+    claims = evaluate_claims(suite)
+    print(render_claims(claims))
+    return 0 if all(c.holds for c in claims) else 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="agave-repro",
+        description="Agave (ISPASS 2016) reproduction harness",
+    )
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="measurement window in simulated seconds")
+    parser.add_argument("--settle-ms", type=int, default=400,
+                        help="boot settle before the window opens")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--no-jit", action="store_true",
+                        help="disable the Dalvik trace JIT")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 25 benchmarks").set_defaults(
+        func=cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.set_defaults(func=cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the whole suite")
+    p_suite.add_argument("--out", help="save results JSON here")
+    p_suite.set_defaults(func=cmd_suite)
+
+    for name, func, extra in (
+        ("figures", cmd_figures, True),
+        ("table1", cmd_table1, False),
+        ("claims", cmd_claims, False),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--results", help="load a saved suite JSON "
+                                         "instead of re-running")
+        if extra:
+            p.add_argument("--figure", type=int, choices=(1, 2, 3, 4))
+            p.add_argument("--csv", action="store_true")
+            p.add_argument("--ascii", action="store_true")
+        if name == "table1":
+            p.add_argument("--top", type=int, default=10)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

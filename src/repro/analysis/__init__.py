@@ -1,0 +1,42 @@
+"""Analysis layer: figure/table builders, claims checks, renderers."""
+
+from repro.analysis.breakdown import StackedBreakdown, build_stacked, shares
+from repro.analysis.claims import Claim, evaluate_claims, failed_claims
+from repro.analysis.figures import (
+    build_figure,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+)
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_claims,
+    render_stacked_ascii,
+    render_table1,
+)
+from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, table1
+
+__all__ = [
+    "Claim",
+    "StackedBreakdown",
+    "Table1",
+    "ThreadRow",
+    "build_figure",
+    "build_stacked",
+    "canonical_thread_name",
+    "evaluate_claims",
+    "failed_claims",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "render_breakdown_csv",
+    "render_breakdown_table",
+    "render_claims",
+    "render_stacked_ascii",
+    "render_table1",
+    "shares",
+    "table1",
+]

@@ -1,0 +1,120 @@
+"""Percentage breakdowns with top-N + "other (K items)" folding.
+
+This is the aggregation the paper's stacked-bar figures use: per benchmark,
+each category's share of references, with the long tail folded into a
+single "other" series whose label records how many items it hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import AnalysisError
+
+
+def shares(counts: Mapping[str, int]) -> dict[str, float]:
+    """Normalise raw counts to percentages (empty -> empty)."""
+    total = sum(counts.values())
+    if total <= 0:
+        return {}
+    return {k: 100.0 * v / total for k, v in counts.items()}
+
+
+def top_categories(
+    per_bench: Mapping[str, Mapping[str, int]],
+    top_n: int,
+    pinned: Iterable[str] = (),
+) -> tuple[list[str], int]:
+    """Pick the *top_n* categories by total count across benchmarks.
+
+    ``pinned`` names are always included (the paper pins its legend to
+    specific regions).  Returns (ordered categories, folded-item count).
+    """
+    totals: dict[str, int] = {}
+    for counts in per_bench.values():
+        for key, value in counts.items():
+            totals[key] = totals.get(key, 0) + value
+    ordered = sorted(totals, key=lambda k: (-totals[k], k))
+    chosen: list[str] = [p for p in pinned if p in totals]
+    for key in ordered:
+        if len(chosen) >= top_n:
+            break
+        if key not in chosen:
+            chosen.append(key)
+    chosen.sort(key=lambda k: (-totals[k], k))
+    other_count = len(totals) - len(chosen)
+    return chosen, max(other_count, 0)
+
+
+@dataclass
+class StackedBreakdown:
+    """One figure's data: per-benchmark percentage series."""
+
+    #: Benchmarks along the x axis (paper order).
+    benchmarks: list[str]
+    #: Legend categories, dominant first; "other" is implicit last.
+    categories: list[str]
+    #: How many distinct items the "other" series folds.
+    other_items: int
+    #: series[category][i] = percent for benchmarks[i].
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: other_series[i] = percent folded into "other".
+    other_series: list[float] = field(default_factory=list)
+    title: str = ""
+
+    @property
+    def other_label(self) -> str:
+        """Legend label of the folded series."""
+        return f"other ({self.other_items} items)"
+
+    def column(self, bench_id: str) -> dict[str, float]:
+        """One benchmark's full percentage column (including other)."""
+        try:
+            idx = self.benchmarks.index(bench_id)
+        except ValueError:
+            raise AnalysisError(f"{bench_id!r} not in breakdown") from None
+        col = {cat: self.series[cat][idx] for cat in self.categories}
+        col[self.other_label] = self.other_series[idx]
+        return col
+
+    def check_sums(self, tolerance: float = 0.01) -> None:
+        """Every column must sum to ~100% (raises otherwise)."""
+        for i, bench in enumerate(self.benchmarks):
+            total = sum(self.series[cat][i] for cat in self.categories)
+            total += self.other_series[i]
+            if abs(total - 100.0) > tolerance and total != 0.0:
+                raise AnalysisError(
+                    f"{self.title}: column {bench} sums to {total:.4f}%"
+                )
+
+
+def build_stacked(
+    per_bench: Mapping[str, Mapping[str, int]],
+    bench_order: Iterable[str],
+    top_n: int,
+    pinned: Iterable[str] = (),
+    title: str = "",
+) -> StackedBreakdown:
+    """Assemble a stacked breakdown from per-benchmark raw counts."""
+    order = [b for b in bench_order if b in per_bench]
+    if not order:
+        raise AnalysisError(f"{title}: no benchmarks to aggregate")
+    categories, other_items = top_categories(per_bench, top_n, pinned)
+    breakdown = StackedBreakdown(
+        benchmarks=order,
+        categories=categories,
+        other_items=other_items,
+        title=title,
+    )
+    for cat in categories:
+        breakdown.series[cat] = []
+    for bench in order:
+        pct = shares(per_bench[bench])
+        covered = 0.0
+        for cat in categories:
+            value = pct.get(cat, 0.0)
+            breakdown.series[cat].append(value)
+            covered += value
+        breakdown.other_series.append(max(100.0 - covered, 0.0) if pct else 0.0)
+    return breakdown

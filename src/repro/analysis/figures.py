@@ -1,0 +1,115 @@
+"""Builders for the paper's four figures.
+
+* Figure 1 — % instruction reads by VMA region, per benchmark
+* Figure 2 — % data references by VMA region, per benchmark
+* Figure 3 — % instruction reads by process, per benchmark
+* Figure 4 — % data references by process, per benchmark
+
+Figures 3/4 normalise the application's own process to ``benchmark``,
+exactly as the paper labels it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.analysis.breakdown import StackedBreakdown, build_stacked
+from repro.core.suite import FIGURE_ORDER
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult, SuiteResult
+
+#: The region legends the paper pins (everything else may fold to other).
+FIG1_PINNED = ("mspace", "libdvm.so", "OS kernel", "app binary")
+FIG2_PINNED = ("anonymous", "heap", "stack", "OS kernel")
+FIG3_PINNED = ("benchmark", "system_server")
+FIG4_PINNED = ("benchmark", "system_server")
+
+TOP_N_REGIONS = 9
+TOP_N_PROCS = 9
+
+
+def _order(suite: "SuiteResult", bench_order: Iterable[str] | None) -> list[str]:
+    if bench_order is not None:
+        return [b for b in bench_order if b in suite.runs]
+    return [b for b in FIGURE_ORDER if b in suite.runs] or suite.ids()
+
+
+def _proc_counts(run: "RunResult", instr: bool) -> dict[str, int]:
+    """Per-process counts with the app's comm folded to ``benchmark``."""
+    source: Mapping[str, int] = run.instr_by_proc if instr else run.data_by_proc
+    out: dict[str, int] = {}
+    for comm, count in source.items():
+        label = "benchmark" if comm == run.benchmark_comm else comm
+        out[label] = out.get(label, 0) + count
+    return out
+
+
+def figure1(
+    suite: "SuiteResult", bench_order: Iterable[str] | None = None
+) -> StackedBreakdown:
+    """Instruction references by VMA region (paper Figure 1)."""
+    order = _order(suite, bench_order)
+    per_bench = {b: suite.get(b).instr_by_region for b in order}
+    fig = build_stacked(
+        per_bench, order, TOP_N_REGIONS, FIG1_PINNED,
+        title="Figure 1: instruction references by VMA region",
+    )
+    fig.check_sums()
+    return fig
+
+
+def figure2(
+    suite: "SuiteResult", bench_order: Iterable[str] | None = None
+) -> StackedBreakdown:
+    """Data references by VMA region (paper Figure 2)."""
+    order = _order(suite, bench_order)
+    per_bench = {b: suite.get(b).data_by_region for b in order}
+    fig = build_stacked(
+        per_bench, order, TOP_N_REGIONS, FIG2_PINNED,
+        title="Figure 2: data references by VMA region",
+    )
+    fig.check_sums()
+    return fig
+
+
+def figure3(
+    suite: "SuiteResult", bench_order: Iterable[str] | None = None
+) -> StackedBreakdown:
+    """Instruction references by process (paper Figure 3)."""
+    order = _order(suite, bench_order)
+    per_bench = {b: _proc_counts(suite.get(b), instr=True) for b in order}
+    fig = build_stacked(
+        per_bench, order, TOP_N_PROCS, FIG3_PINNED,
+        title="Figure 3: instruction references by process",
+    )
+    fig.check_sums()
+    return fig
+
+
+def figure4(
+    suite: "SuiteResult", bench_order: Iterable[str] | None = None
+) -> StackedBreakdown:
+    """Data references by process (paper Figure 4)."""
+    order = _order(suite, bench_order)
+    per_bench = {b: _proc_counts(suite.get(b), instr=False) for b in order}
+    fig = build_stacked(
+        per_bench, order, TOP_N_PROCS, FIG4_PINNED,
+        title="Figure 4: data references by process",
+    )
+    fig.check_sums()
+    return fig
+
+
+ALL_FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4}
+
+
+def build_figure(
+    number: int, suite: "SuiteResult", bench_order: Iterable[str] | None = None
+) -> StackedBreakdown:
+    """Figure dispatch by paper number (1-4)."""
+    try:
+        builder = ALL_FIGURES[number]
+    except KeyError:
+        raise ValueError(f"no figure {number}; the paper has figures 1-4") from None
+    return builder(suite, bench_order)

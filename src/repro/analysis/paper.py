@@ -1,0 +1,107 @@
+"""The paper's reported values, for measured-vs-paper comparison output.
+
+Everything the evaluation section states numerically lives here so the
+benches and EXPERIMENTS.md compare against one canonical copy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.tables import Table1
+
+#: Table I as printed in the paper.
+PAPER_TABLE1: dict[str, float] = {
+    "SurfaceFlinger": 43.4,
+    "Thread": 8.0,
+    "AsyncTask": 7.6,
+    "Compiler": 7.1,
+    "AudioTrackThread": 5.9,
+    "GC": 5.3,
+}
+
+#: Figure 1 legend (top instruction regions), in the paper's order.
+PAPER_FIG1_REGIONS: tuple[str, ...] = (
+    "mspace",
+    "libdvm.so",
+    "libskia.so",
+    "OS kernel",
+    "app binary",
+    "libstagefright.so",
+    "dalvik-jit-code-cache",
+    "libc.so",
+    "libcr3engine-3-1-1.so",
+)
+PAPER_FIG1_OTHER_ITEMS = 63
+
+#: Figure 2 legend (top data regions).
+PAPER_FIG2_REGIONS: tuple[str, ...] = (
+    "anonymous",
+    "heap",
+    "stack",
+    "OS kernel",
+    "gralloc-buffer",
+    "dalvik-heap",
+    "fb0 (frame buffer)",
+    "libdvm.so",
+    "dalvik-LinearAlloc",
+)
+PAPER_FIG2_OTHER_ITEMS = 169
+
+#: Figure 3 legend (top processes, instruction reads).
+PAPER_FIG3_PROCS: tuple[str, ...] = (
+    "benchmark",
+    "system_server",
+    "mediaserver",
+    "app_process",
+    "ata_sff/0",
+    "ndroid.systemui",
+    "ndroid.launcher",
+    "dexopt",
+    "swapper",
+)
+PAPER_FIG3_OTHER_ITEMS = 51
+
+#: Figure 4 legend (top processes, data references).
+PAPER_FIG4_PROCS: tuple[str, ...] = (
+    "benchmark",
+    "system_server",
+    "mediaserver",
+    "app_process",
+    "ndroid.systemui",
+    "ndroid.launcher",
+    "swapper",
+    "dexopt",
+    "id.defcontainer",
+)
+PAPER_FIG4_OTHER_ITEMS = 51
+
+#: Scalar statements from the prose.
+PAPER_SCALARS: dict[str, str] = {
+    "agave-instr-regions": "> 65 instruction regions across the suite",
+    "agave-data-regions": "~170 data regions across the suite",
+    "per-app-code-regions": "42-55 code regions per application",
+    "per-app-data-regions": "32-104 data regions per application",
+    "processes": "20-34 processes per run",
+    "threads": "32-147 threads spawned per run",
+    "gallery-mediaserver": "mediaserver: 81% instr / 77% data of gallery.mp4.view",
+}
+
+
+def compare_table1(measured: "Table1") -> str:
+    """Side-by-side paper-vs-measured for the Table I thread families."""
+    lines = ["Table I comparison (percent of suite references)"]
+    lines.append(f"{'Thread':<20} {'paper':>8} {'measured':>10}")
+    lines.append("-" * 40)
+    for thread, paper_pct in PAPER_TABLE1.items():
+        lines.append(
+            f"{thread:<20} {paper_pct:>8.1f} {measured.percent_of(thread):>10.1f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def legend_overlap(measured_categories: list[str], paper_legend: tuple[str, ...]) -> float:
+    """Fraction of the paper's legend recovered in the measured top-N."""
+    hits = sum(1 for name in paper_legend if name in measured_categories)
+    return hits / len(paper_legend)

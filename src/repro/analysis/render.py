@@ -1,0 +1,90 @@
+"""Text renderers: figures as aligned tables / CSV / markdown, Table I,
+claims reports.  These are what the benches print so a run of the harness
+reads like the paper's evaluation section."""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.breakdown import StackedBreakdown
+from repro.analysis.tables import Table1
+
+if TYPE_CHECKING:
+    from repro.analysis.claims import Claim
+
+
+def render_breakdown_table(fig: StackedBreakdown, width: int = 24) -> str:
+    """Rows = benchmarks, columns = categories (plus other), percentages."""
+    out = io.StringIO()
+    cats = fig.categories + [fig.other_label]
+    out.write(fig.title + "\n")
+    header = "benchmark".ljust(width) + "".join(c[:16].rjust(18) for c in cats)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for i, bench in enumerate(fig.benchmarks):
+        row = bench.ljust(width)
+        for cat in fig.categories:
+            row += f"{fig.series[cat][i]:18.1f}"
+        row += f"{fig.other_series[i]:18.1f}"
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def render_breakdown_csv(fig: StackedBreakdown) -> str:
+    """CSV export of a figure (benchmark, category, percent)."""
+    out = io.StringIO()
+    out.write("benchmark,category,percent\n")
+    for i, bench in enumerate(fig.benchmarks):
+        for cat in fig.categories:
+            out.write(f"{bench},{cat},{fig.series[cat][i]:.4f}\n")
+        out.write(f"{bench},{fig.other_label},{fig.other_series[i]:.4f}\n")
+    return out.getvalue()
+
+
+def render_stacked_ascii(fig: StackedBreakdown, bar_width: int = 50) -> str:
+    """ASCII stacked bars, one row per benchmark."""
+    glyphs = "#@%*+=~-:."
+    out = io.StringIO()
+    out.write(fig.title + "\n")
+    legend = [
+        f"{glyphs[i % len(glyphs)]} {cat}" for i, cat in enumerate(fig.categories)
+    ]
+    legend.append(f". {fig.other_label}")
+    out.write("legend: " + "  ".join(legend) + "\n")
+    for i, bench in enumerate(fig.benchmarks):
+        bar = ""
+        for j, cat in enumerate(fig.categories):
+            cells = round(fig.series[cat][i] * bar_width / 100.0)
+            bar += glyphs[j % len(glyphs)] * cells
+        cells = bar_width - len(bar)
+        bar += "." * max(cells, 0)
+        out.write(f"{bench:>24} |{bar[:bar_width]}|\n")
+    return out.getvalue()
+
+
+def render_table1(table: Table1, top_n: int = 6) -> str:
+    """Table I in the paper's two-column layout."""
+    out = io.StringIO()
+    out.write("Table I: memory references from the most-executed threads\n")
+    out.write(f"{'Thread':<24} {'% Total Memory References':>28}\n")
+    out.write("-" * 54 + "\n")
+    for row in table.top(top_n):
+        out.write(f"{row.thread:<24} {row.percent:>28.1f}\n")
+    return out.getvalue()
+
+
+def render_claims(claims: Iterable["Claim"]) -> str:
+    """The scalar-claims report."""
+    out = io.StringIO()
+    out.write("Paper claims vs measured\n")
+    out.write("=" * 72 + "\n")
+    passed = 0
+    total = 0
+    for claim in claims:
+        out.write(claim.describe() + "\n")
+        total += 1
+        passed += 1 if claim.holds else 0
+    out.write("=" * 72 + "\n")
+    out.write(f"{passed}/{total} claims hold\n")
+    return out.getvalue()

@@ -1,0 +1,45 @@
+"""Android framework and services: Binder, SurfaceFlinger, mediaserver,
+system_server, app runtime and the boot sequence."""
+
+from repro.android.app import AndroidApp, AppModel, LaunchRecord, start_activity
+from repro.android.audioflinger import AudioFlinger, AudioTrack
+from repro.android.binder import (
+    BinderHost,
+    ServiceRef,
+    ServiceRegistry,
+    Transaction,
+    transact,
+)
+from repro.android.boot import AndroidStack, boot_android
+from repro.android.gralloc import GrallocAllocator, GrallocBuffer
+from repro.android.installer import Installer, InstallRequest
+from repro.android.looper import Looper
+from repro.android.mediaserver import MediaPlayerService, MediaServerHandle
+from repro.android.surfaceflinger import Surface, SurfaceFlinger
+from repro.android.system_server import SystemServerHandle
+
+__all__ = [
+    "AndroidApp",
+    "AndroidStack",
+    "AppModel",
+    "AudioFlinger",
+    "AudioTrack",
+    "BinderHost",
+    "GrallocAllocator",
+    "GrallocBuffer",
+    "InstallRequest",
+    "Installer",
+    "LaunchRecord",
+    "Looper",
+    "MediaPlayerService",
+    "MediaServerHandle",
+    "ServiceRef",
+    "ServiceRegistry",
+    "Surface",
+    "SurfaceFlinger",
+    "SystemServerHandle",
+    "Transaction",
+    "boot_android",
+    "start_activity",
+    "transact",
+]

@@ -1,0 +1,83 @@
+"""Gralloc: graphics buffer allocation.
+
+A gralloc buffer is shared memory mapped both into the client (which draws
+into it) and into system_server (where SurfaceFlinger composites from it).
+Both mappings carry the ``gralloc-buffer`` label, so references from either
+side land in the region the paper's Figure 2 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.kernel.vma import LABEL_GRALLOC, PERM_RW, VMA, VMAKind
+
+if TYPE_CHECKING:
+    from repro.kernel.task import Process
+
+
+@dataclass
+class GrallocBuffer:
+    """One double-buffered window surface."""
+
+    name: str
+    width: int
+    height: int
+    bytes_per_pixel: int
+    client_vma: VMA
+    server_vma: VMA
+
+    @property
+    def pixels(self) -> int:
+        """Pixel count of the buffer."""
+        return self.width * self.height
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the buffer."""
+        return self.pixels * self.bytes_per_pixel
+
+    @property
+    def client_addr(self) -> int:
+        """Address of the buffer in the drawing process."""
+        return self.client_vma.start + 4_096
+
+    @property
+    def server_addr(self) -> int:
+        """Address of the buffer in system_server (SurfaceFlinger side)."""
+        return self.server_vma.start + 4_096
+
+
+class GrallocAllocator:
+    """Allocates shared window buffers between clients and the compositor."""
+
+    def __init__(self, server_proc: "Process") -> None:
+        self.server_proc = server_proc
+        self.buffers: list[GrallocBuffer] = []
+
+    def allocate(
+        self,
+        client_proc: "Process",
+        name: str,
+        width: int,
+        height: int,
+        bytes_per_pixel: int = 2,
+    ) -> GrallocBuffer:
+        """Map a new buffer into both the client and the compositor."""
+        nbytes = width * height * bytes_per_pixel
+        client_vma = client_proc.mm.mmap(
+            nbytes, LABEL_GRALLOC, VMAKind.ASHMEM, PERM_RW, shared=True, tag=name
+        )
+        server_vma = self.server_proc.mm.mmap(
+            nbytes, LABEL_GRALLOC, VMAKind.ASHMEM, PERM_RW, shared=True, tag=name
+        )
+        buf = GrallocBuffer(name, width, height, bytes_per_pixel, client_vma, server_vma)
+        self.buffers.append(buf)
+        return buf
+
+    def release(self, buf: GrallocBuffer, client_proc: "Process") -> None:
+        """Unmap a buffer from both sides."""
+        client_proc.mm.munmap(buf.client_vma)
+        self.server_proc.mm.munmap(buf.server_vma)
+        self.buffers.remove(buf)

@@ -1,0 +1,44 @@
+"""Looper/Handler message loops for framework main threads."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.libs.registry import mapped_object
+from repro.sim.ops import Block, Op
+
+if TYPE_CHECKING:
+    from repro.kernel.proc import Kernel
+    from repro.kernel.task import Process, Task
+
+MessageHandler = Callable[["Task"], Iterator[Op]]
+
+
+class Looper:
+    """A message queue drained by one thread."""
+
+    def __init__(self, kernel: "Kernel", proc: "Process", name: str = "main") -> None:
+        self.kernel = kernel
+        self.proc = proc
+        self.name = name
+        self.queue: deque[MessageHandler] = deque()
+        self.waitq = kernel.new_waitq(f"looper:{proc.comm}:{name}")
+        self.messages_handled = 0
+
+    def post(self, handler: MessageHandler) -> None:
+        """Enqueue a message; wakes the loop if parked."""
+        self.queue.append(handler)
+        self.waitq.wake_all()
+
+    def behavior(self, task: "Task") -> Iterator[Op]:
+        """Run the loop forever on the calling task."""
+        libutils = mapped_object(self.proc, "libutils.so")
+        while True:
+            if not self.queue:
+                yield Block(self.waitq)
+                continue
+            handler = self.queue.popleft()
+            yield libutils.call("looper_poll")
+            yield from handler(task)
+            self.messages_handled += 1

@@ -1,0 +1,38 @@
+"""The Agave application workloads and the SPEC baseline selection."""
+
+from repro.apps.aard import AardModel
+from repro.apps.base import AgaveAppModel
+from repro.apps.coolreader import CoolReaderModel
+from repro.apps.countdown import CountdownModel
+from repro.apps.doom import DoomModel
+from repro.apps.frozenbubble import FrozenBubbleModel
+from repro.apps.gallery import GalleryMp4Model
+from repro.apps.jetboy import JetBoyModel
+from repro.apps.music import MusicMp3BackgroundModel, MusicMp3Model
+from repro.apps.odr import OdrPptModel, OdrTxtModel, OdrXlsModel
+from repro.apps.osmand import OsmandMapModel, OsmandNavModel
+from repro.apps.pm import PmApkBackgroundModel, PmApkModel
+from repro.apps.vlc import VlcMp3BackgroundModel, VlcMp3Model, VlcMp4Model
+
+__all__ = [
+    "AardModel",
+    "AgaveAppModel",
+    "CoolReaderModel",
+    "CountdownModel",
+    "DoomModel",
+    "FrozenBubbleModel",
+    "GalleryMp4Model",
+    "JetBoyModel",
+    "MusicMp3BackgroundModel",
+    "MusicMp3Model",
+    "OdrPptModel",
+    "OdrTxtModel",
+    "OdrXlsModel",
+    "OsmandMapModel",
+    "OsmandNavModel",
+    "PmApkBackgroundModel",
+    "PmApkModel",
+    "VlcMp3BackgroundModel",
+    "VlcMp3Model",
+    "VlcMp4Model",
+]

@@ -1,0 +1,80 @@
+"""aard.main — the Aard offline dictionary.
+
+Workload: a user issues a lookup roughly once a second; each lookup runs
+on an AsyncTask (index search + article fetch through sqlite-style btree
+work), and the result page renders as a text-heavy frame with a short
+scroll animation.  Reference mix: libdvm-dominated instructions with
+substantial mspace from text rendering; dalvik-heap + dictionary-file data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.apps.base import AgaveAppModel
+from repro.libs import regions, skia
+from repro.libs.registry import mapped_object
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+
+class AardModel(AgaveAppModel):
+    """aard.main."""
+
+    package = "aarddict.android"
+    extra_libs = ("libsqlite.so", "libexpat.so", "libwebcore.so", "libz.so")
+    dex_kb = 520
+    method_count = 70
+    avg_bytecodes = 300
+    startup_classes = 240
+    input_files = (("enwiki-slim.aar", 6 * 1024 * 1024),)
+
+    #: Lookups per second of runtime.
+    lookup_period_ms = 1_000
+    #: Scroll frames after each result renders.
+    scroll_frames = 6
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        dictionary = self.file("enwiki-slim.aar")
+        system = app.stack.system
+        # Aard mmaps its dictionary volume.
+        dict_vma = regions.map_asset(app.proc, "enwiki-slim.aar", dictionary.size)
+        webcore = mapped_object(app.proc, "libwebcore.so")
+
+        def lookup(worker: "Task") -> Iterator[Op]:
+            # Index probe: btree descent over the mapped volume + inflate.
+            libsqlite = mapped_object(app.proc, "libsqlite.so")
+            yield libsqlite.call(
+                "btree_search", reps=6, data=((dict_vma.start + 4_096, 420),)
+            )
+            yield from system.fs.read(worker, dictionary, 48 * 1024, app.scratch_addr)
+            # Inflate + build the article DOM off the main thread.
+            libz = mapped_object(app.proc, "libz.so")
+            yield libz.call(
+                "inflate_block", insts=48 * 8_000, data=((app.scratch_addr, 2_400),)
+            )
+            yield from app.interpret_batch(22, worker)
+            # WebViewCore lays the article out off the main thread.
+            yield webcore.call(
+                "layout_page",
+                insts=420_000,
+                data=(
+                    (app.ctx.heap_addr(3), 2_200),
+                    (webcore.data_addr(2048), 1_600),
+                ),
+            )
+            yield app.ctx.alloc(48 * 1024)
+
+        while True:
+            yield from app.touch_event(task)
+            app.run_async(lookup)
+            yield from app.draw_frame(task, coverage=0.65, glyphs=700)
+            for _ in range(self.scroll_frames):
+                yield Sleep(millis(33))
+                yield from app.draw_frame(task, coverage=0.45, glyphs=320, view_methods=3)
+            remainder = self.lookup_period_ms - 33 * self.scroll_frames
+            yield Sleep(millis(max(remainder, 50)))

@@ -1,0 +1,48 @@
+"""countdown.main — a minimal countdown-timer utility.
+
+Workload: a one-second tick updating a small digit display.  The lightest
+Agave benchmark: nearly all work is interpreted Java (libdvm) over
+dalvik-heap, with tiny rasterisation bursts — a useful contrast point in
+every figure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.apps.base import AgaveAppModel
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis, seconds
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+
+class CountdownModel(AgaveAppModel):
+    """countdown.main."""
+
+    package = "net.i2p.countdown"
+    dex_kb = 180
+    method_count = 30
+    avg_bytecodes = 220
+    startup_classes = 120
+    startup_methods = 20
+
+    #: Seconds counted down before the alarm fires and the timer restarts.
+    alarm_period = 30
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        ticks = 0
+        while True:
+            yield Sleep(seconds(1))
+            ticks += 1
+            # Update the remaining-time string and redraw the digits.
+            yield from app.interpret_batch(5, task)
+            yield from app.draw_frame(task, coverage=0.12, glyphs=10, view_methods=2)
+            if ticks % self.alarm_period == 0:
+                # Alarm: a burst of UI work and a notification blink.
+                yield from app.interpret_batch(20, task)
+                for _ in range(4):
+                    yield Sleep(millis(120))
+                    yield from app.draw_frame(task, coverage=0.3, view_methods=3)

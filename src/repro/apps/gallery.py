@@ -1,0 +1,49 @@
+"""gallery.mp4.view — the stock Gallery playing an MP4 video.
+
+Workload: video playback through MediaPlayerService.  Nearly all the work
+happens in mediaserver (stagefright H.264 decode, overlay writes to fb0,
+AAC audio) — the benchmark the paper calls out for mediaserver accounting
+for 81%/77% of instruction/data references.  The app itself only fades
+its transport controls occasionally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.apps.base import AgaveAppModel
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis, seconds
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+
+class GalleryMp4Model(AgaveAppModel):
+    """gallery.mp4.view."""
+
+    package = "com.cooliris.media"
+    dex_kb = 680
+    method_count = 52
+    avg_bytecodes = 300
+    startup_classes = 230
+    input_files = (("movie.mp4", 24 * 1024 * 1024),)
+
+    controls_fade_s = 2
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        movie = self.file("movie.mp4")
+        yield from app.play_media(movie, "mp4", task)
+
+        def preload_thumbnails(worker: "Task") -> Iterator[Op]:
+            # Gallery keeps decoding adjacent thumbnails while playing.
+            yield from app.decode_bitmap(160_000)
+            yield from app.interpret_batch(10, worker)
+
+        while True:
+            # Transport controls fade in/out; position bar updates.
+            yield Sleep(seconds(self.controls_fade_s))
+            app.run_async(preload_thumbnails)
+            yield from app.interpret_batch(3, task)
+            yield from app.draw_frame(task, coverage=0.18, glyphs=16, view_methods=3)

@@ -1,0 +1,68 @@
+"""music.mp3.view / music.mp3.view.bkg — the stock Music player.
+
+Foreground mode streams an MP3 through MediaPlayerService while the UI
+animates album art and the seek bar; background mode holds the same
+playback session from a started service with no window — the pair the
+paper uses to show how a benchmark's profile shifts between modes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.apps.base import AgaveAppModel
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis, seconds
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+
+class MusicMp3Model(AgaveAppModel):
+    """music.mp3.view."""
+
+    package = "com.android.music"
+    dex_kb = 420
+    method_count = 50
+    avg_bytecodes = 280
+    startup_classes = 210
+    input_files = (("album-track.mp3", 7 * 1024 * 1024),)
+
+    #: Seek bar / position label refresh period.
+    ui_refresh_ms = 500
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        track = self.file("album-track.mp3")
+        # Album art decode, then start playback in mediaserver.
+        yield from app.decode_bitmap(240_000)
+        yield from app.play_media(track, "mp3", task)
+
+        def refresh_art(worker: "Task") -> Iterator[Op]:
+            # Album art / lyric lookups run on the AsyncTask executor.
+            yield from app.decode_bitmap(64_000)
+            yield from app.interpret_batch(8, worker)
+
+        tick = 0
+        while True:
+            yield Sleep(millis(self.ui_refresh_ms))
+            tick += 1
+            if tick % 4 == 0:
+                app.run_async(refresh_art)
+            yield from app.interpret_batch(3, task)
+            yield from app.draw_frame(task, coverage=0.10, glyphs=24, view_methods=2)
+
+
+class MusicMp3BackgroundModel(MusicMp3Model):
+    """music.mp3.view.bkg — the same playback without a UI."""
+
+    background = True
+    window = None
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        track = self.file("album-track.mp3")
+        yield from app.play_media(track, "mp3", task)
+        while True:
+            # The service only wakes for notification/bookkeeping ticks.
+            yield Sleep(seconds(2))
+            yield from app.interpret_batch(2, task)

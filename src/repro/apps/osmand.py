@@ -1,0 +1,115 @@
+"""osmand.{map,nav}.view — OsmAnd offline maps.
+
+``map.view`` pans across a vector map: AsyncTasks rasterise tiles from the
+offline OBF data (native renderer), the main thread composites the pan at
+a moderate frame rate.  ``nav.view`` adds turn-by-turn work: periodic A*
+route recalculation and position updates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.apps.base import AgaveAppModel
+from repro.libs import regions, skia
+from repro.libs.registry import mapped_object
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis, seconds
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+TILE_PIXELS = 256 * 256
+
+
+class OsmandMapModel(AgaveAppModel):
+    """osmand.map.view."""
+
+    package = "net.osmand.plus"
+    extra_libs = ("libosmrender.so", "libsqlite.so", "libz.so")
+    dex_kb = 1_600
+    method_count = 90
+    avg_bytecodes = 380
+    startup_classes = 420
+    input_files = (("region.obf", 18 * 1024 * 1024),)
+
+    pan_fps = 15
+    tiles_per_pan = 12
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        obf = self.file("region.obf")
+        system = app.stack.system
+        renderer = mapped_object(app.proc, "libosmrender.so")
+        obf_vma = regions.map_asset(app.proc, "region.obf", obf.size)
+        frame_ticks = int(1_000_000_000 / self.pan_fps)
+        loader_seq = [0]
+
+        def load_tile(worker: "Task") -> Iterator[Op]:
+            yield from system.fs.read(worker, obf, 128 * 1024, app.scratch_addr)
+            yield renderer.call(
+                "pbf_parse",
+                insts=700_000,
+                data=(
+                    (app.scratch_addr, 40_000),
+                    (obf_vma.start + 16_384, 36_000),
+                    (renderer.data_addr(1024), 30_000),
+                ),
+            )
+            yield renderer.call(
+                "tile_rasterize",
+                insts=TILE_PIXELS * 6,
+                data=((app.scratch_addr, TILE_PIXELS // 2),),
+            )
+            yield app.ctx.alloc(TILE_PIXELS * 2)
+
+        frame = 0
+        while True:
+            frame += 1
+            if frame % self.pan_fps == 1:
+                # OsmAnd spins up short-lived loader threads per viewport
+                # move (the reason its runs spawn the most threads).
+                half = max(self.tiles_per_pan // 2, 1)
+                for _ in range(half):
+                    loader_seq[0] += 1
+                    app.spawn_worker(
+                        lambda worker: load_tile(worker),
+                        name=f"TileLoader-{loader_seq[0]}",
+                    )
+                for _ in range(self.tiles_per_pan - half + 1):
+                    app.run_async(load_tile)
+            # Pan: redraw visible tiles + overlays.
+            yield from app.draw_frame(task, coverage=0.9, glyphs=60, view_methods=4)
+            yield Sleep(frame_ticks)
+
+
+class OsmandNavModel(OsmandMapModel):
+    """osmand.nav.view — adds routing on top of the map view."""
+
+    pan_fps = 10
+    tiles_per_pan = 7
+    reroute_period_s = 4
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        renderer_holder: list = []
+
+        def reroute(worker: "Task") -> Iterator[Op]:
+            renderer = renderer_holder[0]
+            yield renderer.call(
+                "route_astar",
+                insts=5_500_000,
+                data=(
+                    (app.scratch_addr, 900_000),
+                    (renderer.data_addr(2048), 650_000),
+                ),
+            )
+            yield from app.interpret_batch(12, worker)
+
+        def schedule_reroutes(worker: "Task") -> Iterator[Op]:
+            while True:
+                yield Sleep(seconds(self.reroute_period_s))
+                app.run_async(reroute)
+
+        renderer_holder.append(mapped_object(app.proc, "libosmrender.so"))
+        app.spawn_worker(schedule_reroutes)  # Thread-8: position provider
+        yield from super().run(app, task)

@@ -1,0 +1,100 @@
+"""pm.apk.view / pm.apk.view.bkg — package installation.
+
+Workload: install a queue of APKs through PackageManagerService.  Each
+install runs the full pipeline — PMS verification (system_server),
+``id.defcontainer`` copy/inspection, and the heavyweight ``dexopt``
+process — which is why those two processes appear in the paper's
+Figures 3/4.  The foreground variant keeps a progress UI animating; the
+background variant installs from a service with no window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.android.binder import transact
+from repro.android.installer import InstallRequest
+from repro.apps.base import AgaveAppModel
+from repro.sim.ops import Op, Sleep
+from repro.sim.ticks import millis, seconds
+
+if TYPE_CHECKING:
+    from repro.android.app import AndroidApp
+    from repro.kernel.task import Task
+
+#: (package, apk bytes, dex KB) of the install queue.
+INSTALL_QUEUE: tuple[tuple[str, int, int], ...] = (
+    ("com.example.game", 4_200 * 1024, 1_800),
+    ("com.example.office", 3_100 * 1024, 2_400),
+    ("com.example.social", 5_000 * 1024, 2_100),
+)
+
+
+class PmApkModel(AgaveAppModel):
+    """pm.apk.view."""
+
+    package = "com.android.packageinstaller"
+    dex_kb = 240
+    method_count = 40
+    avg_bytecodes = 260
+    startup_classes = 160
+    input_files = tuple(
+        (f"{pkg}.apk", size) for pkg, size, _dex in INSTALL_QUEUE
+    )
+
+    progress_fps = 10
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        kernel = app.stack.system.kernel
+        state = {"busy": False}
+
+        def do_install(pkg: str, apk_name: str, dex_kb: int):
+            def work(worker: "Task") -> Iterator[Op]:
+                request = InstallRequest(pkg, self.file(apk_name), dex_kb)
+                ref = app.stack.registry.lookup("package")
+                yield from transact(
+                    kernel, app.proc, ref, "install", payload_words=220,
+                    args={"request": request},
+                )
+                state["busy"] = False
+
+            return work
+
+        while True:
+            for pkg, _size, dex_kb in INSTALL_QUEUE:
+                # Parse/display the APK details page.
+                yield from app.interpret_batch(10, task)
+                yield from app.draw_frame(task, coverage=0.4, glyphs=200)
+                state["busy"] = True
+                app.run_async(do_install(pkg, f"{pkg}.apk", dex_kb))
+                # Animate the progress bar while the pipeline runs.
+                while state["busy"]:
+                    yield Sleep(millis(1_000 // self.progress_fps))
+                    yield from app.draw_frame(
+                        task, coverage=0.12, glyphs=20, view_methods=2
+                    )
+                yield from app.draw_frame(task, coverage=0.4, glyphs=120)
+                yield Sleep(millis(600))
+            # The user inspects results before the next batch.
+            yield Sleep(millis(2_500))
+
+
+class PmApkBackgroundModel(PmApkModel):
+    """pm.apk.view.bkg — the same installs from a background service."""
+
+    background = True
+    window = None
+
+    def run(self, app: "AndroidApp", task: "Task") -> Iterator[Op]:
+        kernel = app.stack.system.kernel
+        while True:
+            for pkg, _size, dex_kb in INSTALL_QUEUE:
+                yield from app.interpret_batch(4, task)
+                request = InstallRequest(pkg, self.file(f"{pkg}.apk"), dex_kb)
+                ref = app.stack.registry.lookup("package")
+                yield from transact(
+                    kernel, app.proc, ref, "install", payload_words=220,
+                    args={"request": request},
+                )
+                yield Sleep(seconds(1))
+            yield Sleep(seconds(2))

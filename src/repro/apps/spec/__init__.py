@@ -1,0 +1,20 @@
+"""SPEC CPU2006 baseline workloads (six-program selection of the paper)."""
+
+from repro.apps.spec.base import IterationProfile, SpecModel
+from repro.apps.spec.bzip2 import Bzip2Model
+from repro.apps.spec.hmmer import HmmerModel
+from repro.apps.spec.libquantum import LibquantumModel
+from repro.apps.spec.mcf import McfModel
+from repro.apps.spec.sjeng import SjengModel
+from repro.apps.spec.specrand import SpecrandModel
+
+__all__ = [
+    "Bzip2Model",
+    "HmmerModel",
+    "IterationProfile",
+    "LibquantumModel",
+    "McfModel",
+    "SjengModel",
+    "SpecModel",
+    "SpecrandModel",
+]

@@ -1,0 +1,34 @@
+"""Suite core: benchmark registry, runner, results."""
+
+from repro.core.results import RunResult, SuiteResult
+from repro.core.runner import QUICK_CONFIG, RunConfig, SuiteRunner
+from repro.core.spec import BenchmarkSpec, Category, Kind
+from repro.core.suite import (
+    AGAVE_BENCHMARKS,
+    AGAVE_IDS,
+    ALL_BENCHMARKS,
+    FIGURE_ORDER,
+    SPEC_BENCHMARKS,
+    SPEC_IDS,
+    benchmarks,
+    get_benchmark,
+)
+
+__all__ = [
+    "AGAVE_BENCHMARKS",
+    "AGAVE_IDS",
+    "ALL_BENCHMARKS",
+    "BenchmarkSpec",
+    "Category",
+    "FIGURE_ORDER",
+    "Kind",
+    "QUICK_CONFIG",
+    "RunConfig",
+    "RunResult",
+    "SPEC_BENCHMARKS",
+    "SPEC_IDS",
+    "SuiteResult",
+    "SuiteRunner",
+    "benchmarks",
+    "get_benchmark",
+]

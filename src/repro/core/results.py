@@ -1,0 +1,245 @@
+"""Run results: the serialisable output of one benchmark execution.
+
+A :class:`RunResult` snapshots the profiler's counters plus process/thread
+census data; a :class:`SuiteResult` collects one per benchmark and feeds
+the analysis layer.  Both round-trip through JSON so results can be cached
+("plug-and-play" artifacts, standing in for the paper's prepackaged VMs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.sim.memprofiler import MemProfiler
+
+
+def _encode_pairs(d: dict[tuple[str, str], int]) -> dict[str, int]:
+    return {f"{a}\x00{b}": v for (a, b), v in d.items()}
+
+
+def _decode_pairs(d: dict[str, int]) -> dict[tuple[str, str], int]:
+    out: dict[tuple[str, str], int] = {}
+    for key, v in d.items():
+        a, _, b = key.partition("\x00")
+        out[(a, b)] = v
+    return out
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one benchmark's window."""
+
+    bench_id: str
+    benchmark_comm: str
+    duration_ticks: int
+    seed: int
+    instr_by_region: dict[str, int] = field(default_factory=dict)
+    data_by_region: dict[str, int] = field(default_factory=dict)
+    instr_by_proc: dict[str, int] = field(default_factory=dict)
+    data_by_proc: dict[str, int] = field(default_factory=dict)
+    refs_by_thread: dict[tuple[str, str], int] = field(default_factory=dict)
+    instr_by_proc_region: dict[tuple[str, str], int] = field(default_factory=dict)
+    data_by_proc_region: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Census data from the kernel at window close.
+    live_processes: int = 0
+    threads_spawned_total: int = 0
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_profiler(
+        cls,
+        bench_id: str,
+        benchmark_comm: str,
+        profiler: "MemProfiler",
+        duration_ticks: int,
+        seed: int,
+        live_processes: int,
+        threads_spawned_total: int,
+        meta: dict | None = None,
+    ) -> "RunResult":
+        """Snapshot the profiler into a result."""
+        return cls(
+            bench_id=bench_id,
+            benchmark_comm=benchmark_comm,
+            duration_ticks=duration_ticks,
+            seed=seed,
+            instr_by_region=dict(profiler.instr_by_region),
+            data_by_region=dict(profiler.data_by_region),
+            instr_by_proc=dict(profiler.instr_by_proc),
+            data_by_proc=dict(profiler.data_by_proc),
+            refs_by_thread=dict(profiler.refs_by_thread),
+            instr_by_proc_region=dict(profiler.instr_by_proc_region),
+            data_by_proc_region=dict(profiler.data_by_proc_region),
+            live_processes=live_processes,
+            threads_spawned_total=threads_spawned_total,
+            meta=dict(meta or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+
+    @property
+    def total_instr(self) -> int:
+        """Instruction reads in the window."""
+        return sum(self.instr_by_region.values())
+
+    @property
+    def total_data(self) -> int:
+        """Data references in the window."""
+        return sum(self.data_by_region.values())
+
+    @property
+    def total_refs(self) -> int:
+        """All memory references in the window."""
+        return self.total_instr + self.total_data
+
+    def code_region_count(self) -> int:
+        """Distinct regions serving instruction fetches."""
+        return len(self.instr_by_region)
+
+    def data_region_count(self) -> int:
+        """Distinct regions serving data references."""
+        return len(self.data_by_region)
+
+    def process_count(self) -> int:
+        """Distinct process comms that issued references."""
+        return len(set(self.instr_by_proc) | set(self.data_by_proc))
+
+    def thread_count(self) -> int:
+        """Distinct (process, thread) pairs that issued references."""
+        return len(self.refs_by_thread)
+
+    def benchmark_share_instr(self) -> float:
+        """Fraction of instruction reads from the benchmark's own process."""
+        total = self.total_instr
+        return self.instr_by_proc.get(self.benchmark_comm, 0) / total if total else 0.0
+
+    def proc_share(self, comm: str, instr: bool = True) -> float:
+        """One process's share of instruction (or data) references."""
+        table = self.instr_by_proc if instr else self.data_by_proc
+        total = sum(table.values())
+        return table.get(comm, 0) / total if total else 0.0
+
+    def region_share(self, label: str, instr: bool = True) -> float:
+        """One region's share of instruction (or data) references."""
+        table = self.instr_by_region if instr else self.data_by_region
+        total = sum(table.values())
+        return table.get(label, 0) / total if total else 0.0
+
+    def effective_region_count(
+        self, coverage: float = 0.99, instr: bool = True
+    ) -> int:
+        """Regions needed to cover *coverage* of references.
+
+        SPEC programs have dozens of regions with a trickle of background
+        references but only a handful doing real work; this is the metric
+        behind the paper's "vast majority from the binary and kernel".
+        """
+        table = self.instr_by_region if instr else self.data_by_region
+        total = sum(table.values())
+        if total <= 0:
+            return 0
+        needed = 0
+        accumulated = 0
+        for count in sorted(table.values(), reverse=True):
+            needed += 1
+            accumulated += count
+            if accumulated >= coverage * total:
+                break
+        return needed
+
+    # ------------------------------------------------------------------
+    # Serialisation
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "bench_id": self.bench_id,
+            "benchmark_comm": self.benchmark_comm,
+            "duration_ticks": self.duration_ticks,
+            "seed": self.seed,
+            "instr_by_region": self.instr_by_region,
+            "data_by_region": self.data_by_region,
+            "instr_by_proc": self.instr_by_proc,
+            "data_by_proc": self.data_by_proc,
+            "refs_by_thread": _encode_pairs(self.refs_by_thread),
+            "instr_by_proc_region": _encode_pairs(self.instr_by_proc_region),
+            "data_by_proc_region": _encode_pairs(self.data_by_proc_region),
+            "live_processes": self.live_processes,
+            "threads_spawned_total": self.threads_spawned_total,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json_dict(cls, raw: dict) -> "RunResult":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            bench_id=raw["bench_id"],
+            benchmark_comm=raw["benchmark_comm"],
+            duration_ticks=raw["duration_ticks"],
+            seed=raw["seed"],
+            instr_by_region=dict(raw["instr_by_region"]),
+            data_by_region=dict(raw["data_by_region"]),
+            instr_by_proc=dict(raw["instr_by_proc"]),
+            data_by_proc=dict(raw["data_by_proc"]),
+            refs_by_thread=_decode_pairs(raw["refs_by_thread"]),
+            instr_by_proc_region=_decode_pairs(raw["instr_by_proc_region"]),
+            data_by_proc_region=_decode_pairs(raw["data_by_proc_region"]),
+            live_processes=raw["live_processes"],
+            threads_spawned_total=raw["threads_spawned_total"],
+            meta=dict(raw.get("meta", {})),
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Results for a set of benchmarks, keyed by bench id."""
+
+    runs: dict[str, RunResult] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        """Insert one run."""
+        self.runs[result.bench_id] = result
+
+    def get(self, bench_id: str) -> RunResult:
+        """Fetch one run or raise."""
+        try:
+            return self.runs[bench_id]
+        except KeyError:
+            raise AnalysisError(f"no result for benchmark {bench_id!r}") from None
+
+    def ids(self) -> list[str]:
+        """Bench ids present, insertion-ordered."""
+        return list(self.runs)
+
+    def subset(self, ids: Iterable[str]) -> "SuiteResult":
+        """A SuiteResult restricted to *ids* (missing ids are errors)."""
+        out = SuiteResult()
+        for bench_id in ids:
+            out.add(self.get(bench_id))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write all runs to a JSON file."""
+        payload = {bid: run.to_json_dict() for bid, run in self.runs.items()}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: str) -> "SuiteResult":
+        """Read runs back from :meth:`save` output."""
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        out = cls()
+        for raw in payload.values():
+            out.add(RunResult.from_json_dict(raw))
+        return out

@@ -1,0 +1,129 @@
+"""The suite runner: boots a fresh system per benchmark, opens the
+measurement window, and snapshots results.
+
+Methodology mirrors the paper: the stack boots and settles, the profiler
+resets, then the workload launches *inside* the window (so the launch-time
+``app_process`` and install-time ``dexopt``/``id.defcontainer`` references
+are visible, as they are in Figures 3/4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.android.app import start_activity
+from repro.android.boot import boot_android
+from repro.calibration import Calibration, use_calibration
+from repro.core.results import RunResult, SuiteResult
+from repro.core.spec import BenchmarkSpec
+from repro.core.suite import benchmarks, get_benchmark
+from repro.kernel.layout import truncate_comm
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs for one benchmark execution."""
+
+    #: Measurement window length.
+    duration_ticks: int = seconds(4)
+    #: Boot settle time before the window opens.
+    settle_ticks: int = millis(400)
+    #: Base RNG seed (combined with the bench id for independence).
+    seed: int = 1234
+    #: Dalvik trace JIT on/off (ablation knob).
+    jit_enabled: bool = True
+    #: Optional calibration override (ablation knob).
+    calibration: Calibration | None = None
+
+    def scaled(self, factor: float) -> "RunConfig":
+        """A config with the window scaled by *factor*."""
+        return replace(self, duration_ticks=int(self.duration_ticks * factor))
+
+
+#: A fast configuration for tests.
+QUICK_CONFIG = RunConfig(duration_ticks=seconds(1), settle_ticks=millis(200))
+
+
+class SuiteRunner:
+    """Runs benchmarks and collects results."""
+
+    def __init__(self, config: RunConfig | None = None) -> None:
+        self.config = config if config is not None else RunConfig()
+
+    # ------------------------------------------------------------------
+
+    def run(self, bench_id: str, config: RunConfig | None = None) -> RunResult:
+        """Execute one benchmark on a fresh system."""
+        cfg = config if config is not None else self.config
+        spec = get_benchmark(bench_id)
+        if cfg.calibration is not None:
+            with use_calibration(cfg.calibration):
+                return self._run_spec(spec, cfg)
+        return self._run_spec(spec, cfg)
+
+    def run_suite(
+        self, ids: Iterable[str] | None = None, config: RunConfig | None = None
+    ) -> SuiteResult:
+        """Execute a set of benchmarks (default: the whole suite)."""
+        out = SuiteResult()
+        for spec in benchmarks(tuple(ids) if ids is not None else None):
+            out.add(self.run(spec.bench_id, config))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _run_spec(self, spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
+        seed = (cfg.seed * 2_654_435_761 + zlib.crc32(spec.bench_id.encode())) & 0x7FFF_FFFF
+        system = System(seed=seed)
+        stack = boot_android(system, jit_enabled=cfg.jit_enabled)
+
+        if spec.is_android:
+            model = spec.factory(seed)
+            model.setup_files(system)
+            system.run_for(cfg.settle_ticks)
+            system.profiler.reset()
+            reaped_at_open = system.kernel.threads_reaped
+            record = start_activity(stack, model, background=spec.background)
+            system.run_for(cfg.duration_ticks)
+            comm = model.benchmark_comm
+            meta = {
+                "package": model.package,
+                "mode": "background" if spec.background else "foreground",
+                "launched": record.proc is not None,
+                "frames_drawn": record.app.frames_drawn if record.app else 0,
+                "sf_frames": stack.sf.frames_composited,
+                "gc_cycles": record.app.ctx.gc_cycles if record.app else 0,
+                "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
+            }
+        else:
+            model = spec.factory(seed)
+            system.run_for(cfg.settle_ticks)
+            system.profiler.reset()
+            reaped_at_open = system.kernel.threads_reaped
+            proc = model.launch(system)
+            system.run_for(cfg.duration_ticks)
+            comm = truncate_comm(model.name)
+            meta = {
+                "profile_insts": model.profile.insts,
+                "pid": proc.pid,
+            }
+
+        # "Threads spawned": every thread alive at window close plus the
+        # transients that came and went inside the window.
+        threads_observed = system.kernel.thread_count() + (
+            system.kernel.threads_reaped - reaped_at_open
+        )
+        return RunResult.from_profiler(
+            bench_id=spec.bench_id,
+            benchmark_comm=comm,
+            profiler=system.profiler,
+            duration_ticks=cfg.duration_ticks,
+            seed=seed,
+            live_processes=system.kernel.process_count(),
+            threads_spawned_total=threads_observed,
+            meta=meta,
+        )

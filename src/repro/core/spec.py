@@ -1,0 +1,60 @@
+"""Benchmark metadata: the suite's catalog entries.
+
+A :class:`BenchmarkSpec` names one bar of the paper's figures — the 19
+Agave workloads (12 applications across 8 categories, with mode/input
+variants) plus the 6 SPEC CPU2006 baselines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+
+class Category(enum.Enum):
+    """Application categories (the paper's eight, plus SPEC)."""
+
+    DICTIONARY = "dictionary"
+    READER = "reader"
+    UTILITY = "utility"
+    GAME = "game"
+    MEDIA = "media"
+    OFFICE = "office"
+    MAPS = "maps"
+    SYSTEM = "system"
+    SPEC = "spec-cpu2006"
+
+
+class Kind(enum.Enum):
+    """Execution environment of a benchmark."""
+
+    ANDROID = "android"
+    SPEC = "spec"
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One suite entry."""
+
+    bench_id: str
+    kind: Kind
+    category: Category
+    description: str
+    #: Factory producing a fresh workload model for a seed.
+    factory: Callable[[int], object]
+    #: Runs as a background service (Android only).
+    background: bool = False
+
+    @property
+    def is_android(self) -> bool:
+        """True for Agave application benchmarks."""
+        return self.kind is Kind.ANDROID
+
+    @property
+    def is_spec(self) -> bool:
+        """True for SPEC baselines."""
+        return self.kind is Kind.SPEC
+
+    def __str__(self) -> str:
+        return self.bench_id

@@ -1,0 +1,133 @@
+"""The Agave suite registry: 19 application benchmarks + 6 SPEC baselines.
+
+Benchmark ordering matches the paper's figures exactly (Agave
+alphabetically, then SPEC by number).
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    AardModel,
+    CoolReaderModel,
+    CountdownModel,
+    DoomModel,
+    FrozenBubbleModel,
+    GalleryMp4Model,
+    JetBoyModel,
+    MusicMp3BackgroundModel,
+    MusicMp3Model,
+    OdrPptModel,
+    OdrTxtModel,
+    OdrXlsModel,
+    OsmandMapModel,
+    OsmandNavModel,
+    PmApkBackgroundModel,
+    PmApkModel,
+    VlcMp3BackgroundModel,
+    VlcMp3Model,
+    VlcMp4Model,
+)
+from repro.apps.spec import (
+    Bzip2Model,
+    HmmerModel,
+    LibquantumModel,
+    McfModel,
+    SjengModel,
+    SpecrandModel,
+)
+from repro.core.spec import BenchmarkSpec, Category, Kind
+from repro.errors import WorkloadError
+
+
+def _android(bench_id, category, description, factory, background=False):
+    return BenchmarkSpec(
+        bench_id, Kind.ANDROID, category, description, factory, background
+    )
+
+
+def _spec(bench_id, description, factory):
+    return BenchmarkSpec(bench_id, Kind.SPEC, Category.SPEC, description, factory)
+
+
+#: The 19 Agave application benchmarks, in the paper's figure order.
+AGAVE_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    _android("aard.main", Category.DICTIONARY,
+             "Aard offline dictionary: lookups + article rendering", AardModel),
+    _android("coolreader.epub.view", Category.READER,
+             "Cool Reader paging through an EPUB (CR3 native engine)",
+             CoolReaderModel),
+    _android("countdown.main", Category.UTILITY,
+             "Minimal countdown timer (lightest Java workload)", CountdownModel),
+    _android("doom.main", Category.GAME,
+             "Doom/prboom NDK port at its native 35Hz tic rate", DoomModel),
+    _android("frozenbubble.main", Category.GAME,
+             "Frozen Bubble pure-Java game loop (JIT-heavy)", FrozenBubbleModel),
+    _android("gallery.mp4.view", Category.MEDIA,
+             "Stock Gallery playing MP4 through mediaserver", GalleryMp4Model),
+    _android("jetboy.main", Category.GAME,
+             "JetBoy sample game with the JET/sonivox audio engine", JetBoyModel),
+    _android("music.mp3.view", Category.MEDIA,
+             "Stock Music player streaming MP3 (foreground)", MusicMp3Model),
+    _android("music.mp3.view.bkg", Category.MEDIA,
+             "Stock Music playback as a background service",
+             MusicMp3BackgroundModel, background=True),
+    _android("odr.ppt.view", Category.OFFICE,
+             "OpenDocument Reader: slide deck (image-heavy)", OdrPptModel),
+    _android("odr.txt.view", Category.OFFICE,
+             "OpenDocument Reader: plain text (glyph-heavy)", OdrTxtModel),
+    _android("odr.xls.view", Category.OFFICE,
+             "OpenDocument Reader: spreadsheet (cell evaluation)", OdrXlsModel),
+    _android("osmand.map.view", Category.MAPS,
+             "OsmAnd map panning with native tile rasterisation",
+             OsmandMapModel),
+    _android("osmand.nav.view", Category.MAPS,
+             "OsmAnd turn-by-turn navigation (A* rerouting)", OsmandNavModel),
+    _android("pm.apk.view", Category.SYSTEM,
+             "Package installer UI driving defcontainer + dexopt", PmApkModel),
+    _android("pm.apk.view.bkg", Category.SYSTEM,
+             "Background package installs (no UI)",
+             PmApkBackgroundModel, background=True),
+    _android("vlc.mp3.view", Category.MEDIA,
+             "VLC decoding MP3 in-process (NDK codecs)", VlcMp3Model),
+    _android("vlc.mp3.view.bkg", Category.MEDIA,
+             "VLC background MP3 playback service",
+             VlcMp3BackgroundModel, background=True),
+    _android("vlc.mp4.view", Category.MEDIA,
+             "VLC software video decode + SF composition", VlcMp4Model),
+)
+
+#: The SPEC CPU2006 selection used by the paper.
+SPEC_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    _spec("401.bzip2", "Block compression (RLE+MTF+entropy kernel)", Bzip2Model),
+    _spec("429.mcf", "Min-cost flow over large arc arrays", McfModel),
+    _spec("456.hmmer", "Profile-HMM Viterbi dynamic programming", HmmerModel),
+    _spec("458.sjeng", "Alpha-beta game-tree search", SjengModel),
+    _spec("462.libquantum", "Quantum register state-vector sweeps", LibquantumModel),
+    _spec("999.specrand", "LCG random draws (flattest profile)", SpecrandModel),
+)
+
+ALL_BENCHMARKS: tuple[BenchmarkSpec, ...] = AGAVE_BENCHMARKS + SPEC_BENCHMARKS
+
+_INDEX: dict[str, BenchmarkSpec] = {b.bench_id: b for b in ALL_BENCHMARKS}
+
+#: Benchmark id order as shown along the paper's x axes.
+FIGURE_ORDER: tuple[str, ...] = tuple(b.bench_id for b in ALL_BENCHMARKS)
+AGAVE_IDS: tuple[str, ...] = tuple(b.bench_id for b in AGAVE_BENCHMARKS)
+SPEC_IDS: tuple[str, ...] = tuple(b.bench_id for b in SPEC_BENCHMARKS)
+
+
+def get_benchmark(bench_id: str) -> BenchmarkSpec:
+    """Look up a benchmark by id."""
+    try:
+        return _INDEX[bench_id]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {bench_id!r}; known: {', '.join(FIGURE_ORDER)}"
+        ) from None
+
+
+def benchmarks(ids: "tuple[str, ...] | list[str] | None" = None) -> list[BenchmarkSpec]:
+    """Resolve a list of ids (default: the whole suite, figure order)."""
+    if ids is None:
+        return list(ALL_BENCHMARKS)
+    return [get_benchmark(i) for i in ids]

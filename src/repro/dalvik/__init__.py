@@ -1,0 +1,25 @@
+"""Dalvik VM model: interpreter, trace JIT, GC, dex files, zygote."""
+
+from repro.dalvik.dex import BOOT_CLASSPATH, DexFile, app_dex, map_dex
+from repro.dalvik.heap import gc_thread, heap_worker_thread, idle_vm_thread
+from repro.dalvik.jit import compiler_thread
+from repro.dalvik.method import JavaMethod, MethodTable, make_method
+from repro.dalvik.vm import DalvikContext, dalvik_context
+from repro.dalvik.zygote import Zygote
+
+__all__ = [
+    "BOOT_CLASSPATH",
+    "DalvikContext",
+    "DexFile",
+    "JavaMethod",
+    "MethodTable",
+    "Zygote",
+    "app_dex",
+    "compiler_thread",
+    "dalvik_context",
+    "gc_thread",
+    "heap_worker_thread",
+    "idle_vm_thread",
+    "make_method",
+    "map_dex",
+]

@@ -1,0 +1,35 @@
+"""Linux 2.6.35-style kernel model: memory, tasks, scheduling, I/O."""
+
+from repro.kernel.addrspace import AddressSpace
+from repro.kernel.layout import (
+    KERNEL_BASE,
+    MMAP_THRESHOLD,
+    PAGE_SIZE,
+    truncate_comm,
+)
+from repro.kernel.pagecache import File, Filesystem
+from repro.kernel.proc import Kernel
+from repro.kernel.sched import Scheduler, TimerQueue
+from repro.kernel.task import Process, Task, TaskState
+from repro.kernel.vma import VMA, Permissions, VMAKind
+from repro.kernel.waitq import WaitQueue
+
+__all__ = [
+    "AddressSpace",
+    "File",
+    "Filesystem",
+    "KERNEL_BASE",
+    "Kernel",
+    "MMAP_THRESHOLD",
+    "PAGE_SIZE",
+    "Permissions",
+    "Process",
+    "Scheduler",
+    "Task",
+    "TaskState",
+    "TimerQueue",
+    "VMA",
+    "VMAKind",
+    "WaitQueue",
+    "truncate_comm",
+]

@@ -1,0 +1,112 @@
+"""CPU scheduler and timer queue.
+
+The scheduler is a deterministic round-robin run queue — sufficient for an
+atomic (functional) CPU model whose purpose is reference attribution, and
+matching the paper's methodology of counting references rather than timing
+them precisely.  The timer queue drives sleeps, vsync loops and device
+completion callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.kernel.task import Task, TaskState
+
+if TYPE_CHECKING:
+    pass
+
+
+class Scheduler:
+    """Round-robin run queue over runnable tasks."""
+
+    #: Default timeslice: 10ms of simulated time.
+    QUANTUM_TICKS = 10_000_000
+
+    def __init__(self, quantum: int | None = None) -> None:
+        self.quantum = quantum if quantum is not None else self.QUANTUM_TICKS
+        self._runq: deque[Task] = deque()
+        self.context_switches = 0
+
+    def __len__(self) -> int:
+        return len(self._runq)
+
+    def enqueue(self, task: Task) -> None:
+        """Add a runnable task to the back of the queue."""
+        if task.state is not TaskState.RUNNABLE:
+            raise SchedulerError(f"enqueue of non-runnable {task!r}")
+        self._runq.append(task)
+
+    def pick(self) -> Task | None:
+        """Pop the next runnable task, skipping any that died in the queue."""
+        while self._runq:
+            task = self._runq.popleft()
+            if task.state is TaskState.RUNNABLE:
+                task.state = TaskState.RUNNING
+                self.context_switches += 1
+                return task
+        return None
+
+    def requeue(self, task: Task) -> None:
+        """Put a preempted/yielding task back on the queue."""
+        task.state = TaskState.RUNNABLE
+        self._runq.append(task)
+
+    def remove(self, task: Task) -> None:
+        """Drop a task from the queue (exit path)."""
+        try:
+            self._runq.remove(task)
+        except ValueError:
+            pass
+
+    def snapshot(self) -> tuple[Task, ...]:
+        """Current queue contents in order (diagnostics)."""
+        return tuple(self._runq)
+
+
+class TimerQueue:
+    """Min-heap of (deadline, seq, task) wakeups."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Task]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def add(self, deadline: int, task: Task) -> None:
+        """Schedule *task* to wake at absolute tick *deadline*."""
+        self._seq += 1
+        task.wake_deadline = deadline
+        heapq.heappush(self._heap, (deadline, self._seq, task))
+
+    def next_deadline(self) -> int | None:
+        """Earliest pending deadline, or None when empty."""
+        self._prune()
+        return self._heap[0][0] if self._heap else None
+
+    def fire_due(self, now: int) -> list[Task]:
+        """Wake every task whose deadline has passed.
+
+        An entry only fires if the task is still sleeping *on that entry*
+        (``wake_deadline`` matches), so stale entries left behind by early
+        wakeups never trigger a spurious wake.
+        """
+        woken: list[Task] = []
+        while self._heap and self._heap[0][0] <= now:
+            deadline, _, task = heapq.heappop(self._heap)
+            if task.state is TaskState.SLEEPING and task.wake_deadline == deadline:
+                task.make_runnable()
+                woken.append(task)
+        return woken
+
+    def _prune(self) -> None:
+        """Drop stale heap entries (woken early, exited, or rescheduled)."""
+        while self._heap:
+            deadline, _, task = self._heap[0]
+            if task.state is TaskState.SLEEPING and task.wake_deadline == deadline:
+                return
+            heapq.heappop(self._heap)

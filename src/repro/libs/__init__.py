@@ -1,0 +1,5 @@
+"""Native user-space libraries of the Gingerbread stack."""
+
+from repro.libs.object import MappedObject, SharedObject, Symbol, lib
+
+__all__ = ["MappedObject", "SharedObject", "Symbol", "lib"]

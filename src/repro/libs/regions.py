@@ -1,0 +1,109 @@
+"""Per-process special regions of the Android runtime.
+
+These are the exotic mappings the paper's figures key on:
+
+* ``mspace`` — an executable dlmalloc arena holding specialised pixel
+  blitters plus their staging buffers ("for buffering pixel operations");
+* ``binder-mapping`` — the Binder driver's per-process transaction window;
+* ``ashmem`` — anonymous shared memory (cursors, system properties);
+* ``property-space`` — the read-only system property page.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.vma import (
+    LABEL_ASHMEM,
+    LABEL_BINDER,
+    LABEL_MSPACE,
+    LABEL_PROPERTY,
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    VMA,
+    VMAKind,
+)
+
+if TYPE_CHECKING:
+    from repro.kernel.task import Process
+
+MSPACE_SIZE = 4 * 1024 * 1024
+BINDER_MAP_SIZE = 1024 * 1024
+PROPERTY_SIZE = 128 * 1024
+ASHMEM_DEFAULT = 256 * 1024
+
+
+def ensure_mspace(proc: "Process") -> VMA:
+    """Create (once) the executable mspace arena for pixel operations."""
+    if proc.has_region(LABEL_MSPACE):
+        return proc.regions[LABEL_MSPACE]
+    vma = proc.mm.mmap(MSPACE_SIZE, LABEL_MSPACE, VMAKind.ANON, PERM_RWX)
+    return proc.add_region(LABEL_MSPACE, vma)
+
+
+def mspace_code_addr(proc: "Process") -> int:
+    """Address of the specialised blitter code inside mspace."""
+    vma = ensure_mspace(proc)
+    return vma.start + vma.size // 8
+
+
+def mspace_buffer_addr(proc: "Process") -> int:
+    """Address of the pixel staging buffers inside mspace."""
+    vma = ensure_mspace(proc)
+    return vma.start + vma.size // 2
+
+
+def ensure_binder_mapping(proc: "Process") -> VMA:
+    """The process's Binder transaction buffer window."""
+    if proc.has_region(LABEL_BINDER):
+        return proc.regions[LABEL_BINDER]
+    vma = proc.mm.mmap(BINDER_MAP_SIZE, LABEL_BINDER, VMAKind.DEVICE, PERM_R)
+    return proc.add_region(LABEL_BINDER, vma)
+
+
+def ensure_property_space(proc: "Process") -> VMA:
+    """The shared system-property page (read-only)."""
+    if proc.has_region(LABEL_PROPERTY):
+        return proc.regions[LABEL_PROPERTY]
+    vma = proc.mm.mmap(
+        PROPERTY_SIZE, LABEL_PROPERTY, VMAKind.ASHMEM, PERM_R, shared=True
+    )
+    return proc.add_region(LABEL_PROPERTY, vma)
+
+
+def ashmem_region(proc: "Process", tag: str, nbytes: int = ASHMEM_DEFAULT) -> VMA:
+    """A new named ashmem mapping (shared cursor windows etc.)."""
+    vma = proc.mm.mmap(nbytes, LABEL_ASHMEM, VMAKind.ASHMEM, PERM_RW, shared=True)
+    vma.tag = tag
+    return vma
+
+
+def map_asset(proc: "Process", name: str, nbytes: int) -> VMA:
+    """Map a read-only asset file (font, apk resources) under its own label.
+
+    Assets are file-backed mappings named after the file — each one is a
+    distinct *data* region, a large share of the ~170 data regions the
+    paper counts across the suite.
+    """
+    if proc.has_region(name):
+        return proc.regions[name]
+    vma = proc.mm.mmap(nbytes, name, VMAKind.FILE_DATA, PERM_R)
+    return proc.add_region(name, vma)
+
+
+def asset_addr(proc: "Process", name: str) -> int:
+    """Address inside a mapped asset, or 0 when not mapped."""
+    vma = proc.regions.get(name)
+    if vma is None:
+        return 0
+    return vma.start + vma.size // 2
+
+
+#: Fonts every UI process maps (inherited from zygote).
+FONT_ASSETS: tuple[tuple[str, int], ...] = (
+    ("DroidSans.ttf", 192 * 1024),
+    ("DroidSans-Bold.ttf", 192 * 1024),
+    ("DroidSansFallback.ttf", 3_800 * 1024),
+)
+FRAMEWORK_RES = ("framework-res.apk", 3 * 1024 * 1024)

@@ -1,0 +1,57 @@
+"""gem5-style simulation substrate: clock, atomic CPU, profiler, engine.
+
+``System`` and ``Engine`` are exported lazily (PEP 562): they sit above
+the kernel layer, and importing them eagerly here would close an import
+cycle (sim.ops -> sim.__init__ -> system -> kernel -> sim.ops).
+"""
+
+from repro.sim.cpu import AtomicCPU
+from repro.sim.devices import AudioDevice, DeviceSet, FramebufferDevice, StorageDevice
+from repro.sim.memprofiler import MemProfiler
+from repro.sim.ops import YIELD, Block, ExecBlock, Sleep, SleepUntil, Yield, merge_data
+from repro.sim.ticks import (
+    Clock,
+    insts_to_ticks,
+    micros,
+    millis,
+    seconds,
+    to_seconds,
+)
+
+__all__ = [
+    "AtomicCPU",
+    "AudioDevice",
+    "Block",
+    "Clock",
+    "DeviceSet",
+    "Engine",
+    "ExecBlock",
+    "FramebufferDevice",
+    "MemProfiler",
+    "Sleep",
+    "SleepUntil",
+    "StorageDevice",
+    "System",
+    "YIELD",
+    "Yield",
+    "insts_to_ticks",
+    "merge_data",
+    "micros",
+    "millis",
+    "seconds",
+    "to_seconds",
+]
+
+_LAZY = {"System": "repro.sim.system", "Engine": "repro.sim.engine"}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

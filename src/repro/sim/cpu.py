@@ -1,0 +1,44 @@
+"""Atomic CPU model.
+
+Mirrors gem5's ``AtomicSimpleCPU`` as used by the paper: no caches, no
+pipeline — every instruction retires in one cycle and every reference is
+counted and attributed immediately.  The CPU is intentionally thin; the
+interesting state lives in the profiler and the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.memprofiler import MemProfiler
+from repro.sim.ticks import Clock, insts_to_ticks
+
+if TYPE_CHECKING:
+    from repro.kernel.task import Task
+    from repro.sim.ops import ExecBlock
+
+
+class AtomicCPU:
+    """Functional CPU: charges blocks to the clock and the profiler."""
+
+    def __init__(self, clock: Clock, profiler: MemProfiler, cpu_id: int = 0) -> None:
+        self.clock = clock
+        self.profiler = profiler
+        self.cpu_id = cpu_id
+        self.insts_retired = 0
+        self.blocks_executed = 0
+
+    def execute(self, task: "Task", block: "ExecBlock") -> int:
+        """Retire *block* on behalf of *task*; returns elapsed ticks."""
+        self.profiler.charge(task, block)
+        self.insts_retired += block.insts
+        self.blocks_executed += 1
+        ticks = insts_to_ticks(block.insts)
+        task.cpu_ticks += ticks
+        return ticks
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomicCPU(id={self.cpu_id}, insts={self.insts_retired}, "
+            f"blocks={self.blocks_executed})"
+        )

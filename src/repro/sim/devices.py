@@ -1,0 +1,119 @@
+"""Platform devices: framebuffer, block storage, audio sink.
+
+Devices are deliberately simple state machines; their role in the
+reproduction is to give the right *threads* work to do — ``ata_sff/0``
+copies completed I/O, SurfaceFlinger writes the fb0 mapping, AudioFlinger
+drains into the audio sink — so that references land where the paper
+observed them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.ticks import micros
+
+if TYPE_CHECKING:
+    from repro.kernel.waitq import WaitQueue
+
+
+@dataclass
+class FramebufferDevice:
+    """The display panel behind ``/dev/graphics/fb0``."""
+
+    width: int = 800
+    height: int = 480
+    bytes_per_pixel: int = 2
+    frames_posted: int = 0
+
+    @property
+    def pixels(self) -> int:
+        """Pixels per full frame."""
+        return self.width * self.height
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per full frame."""
+        return self.pixels * self.bytes_per_pixel
+
+    def post(self) -> None:
+        """Record a page flip."""
+        self.frames_posted += 1
+
+
+@dataclass
+class IORequest:
+    """One block-device transfer awaiting service by ``ata_sff/0``."""
+
+    nbytes: int
+    completion_q: "WaitQueue"
+    submitted_at: int
+    serviced: bool = False
+
+
+class StorageDevice:
+    """Single-queue block device (eMMC/SD-class latencies).
+
+    Submitters enqueue requests and block on a per-request completion
+    queue; the ``ata_sff/0`` kernel thread services the queue, charging the
+    copy work to kernel space, then wakes the submitter.
+    """
+
+    #: Fixed per-request latency before data is ready.
+    LATENCY_TICKS = micros(150)
+    #: Device streaming bandwidth in bytes per tick (~20 MB/s).
+    BYTES_PER_TICK = 0.02
+
+    def __init__(self) -> None:
+        self.queue: deque[IORequest] = deque()
+        self.requests_submitted = 0
+        self.bytes_transferred = 0
+        #: The ata_sff/0 thread parks on this queue between requests.
+        self.worker_q: "WaitQueue | None" = None
+
+    def submit(self, request: IORequest) -> None:
+        """Queue a transfer and kick the service thread."""
+        self.queue.append(request)
+        self.requests_submitted += 1
+        if self.worker_q is not None:
+            self.worker_q.wake_all()
+
+    def transfer_ticks(self, nbytes: int) -> int:
+        """Ticks the device needs for an *nbytes* transfer."""
+        return self.LATENCY_TICKS + int(nbytes / self.BYTES_PER_TICK)
+
+    def pop(self) -> IORequest | None:
+        """Next request to service, or None when idle."""
+        return self.queue.popleft() if self.queue else None
+
+
+@dataclass
+class AudioDevice:
+    """PCM sink behind AudioFlinger's mixer thread."""
+
+    sample_rate: int = 44_100
+    channels: int = 2
+    bytes_per_sample: int = 2
+    bytes_written: int = 0
+    buffers_mixed: int = field(default=0)
+
+    @property
+    def bytes_per_second(self) -> int:
+        """PCM byte rate of the output stream."""
+        return self.sample_rate * self.channels * self.bytes_per_sample
+
+    def write(self, nbytes: int) -> None:
+        """Account a mixed buffer reaching the hardware."""
+        self.bytes_written += nbytes
+        self.buffers_mixed += 1
+
+
+@dataclass
+class DeviceSet:
+    """All platform devices of one simulated system."""
+
+    framebuffer: FramebufferDevice = field(default_factory=FramebufferDevice)
+    storage: StorageDevice = field(default_factory=StorageDevice)
+    audio: AudioDevice = field(default_factory=AudioDevice)

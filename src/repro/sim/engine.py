@@ -1,0 +1,122 @@
+"""The simulation engine: dispatches ops from scheduled tasks.
+
+This is gem5's event loop in miniature.  One atomic CPU pulls ops from the
+task the scheduler picked; blocking/sleeping ops park the task; the timer
+queue drives periodic threads; when nothing is runnable the idle task
+(``swapper``) accrues a trickle of kernel references — which is why the
+paper's SPEC bars show a sliver of ``swapper``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.kernel.sched import Scheduler, TimerQueue
+from repro.kernel.task import Task, TaskState
+from repro.sim.ops import Block, ExecBlock, Sleep, SleepUntil, Yield
+
+if TYPE_CHECKING:
+    from repro.sim.system import System
+
+#: Idle-loop intensity: kernel instructions per tick while idling.
+IDLE_INSTS_PER_TICK = 0.0005
+
+
+class Engine:
+    """Runs the system forward in time."""
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.clock = system.clock
+        self.cpu = system.cpu
+        self.profiler = system.profiler
+        self.sched: Scheduler = system.kernel.sched
+        self.timers: TimerQueue = system.kernel.timers
+        self.ops_dispatched = 0
+        self.idle_ticks = 0
+
+    # ------------------------------------------------------------------
+
+    def run_until(self, deadline: int, max_ops: int | None = None) -> None:
+        """Advance simulated time to *deadline* (absolute tick)."""
+        ops_budget = max_ops if max_ops is not None else float("inf")
+        while self.clock.now < deadline and ops_budget > 0:
+            self.timers.fire_due(self.clock.now)
+            task = self.sched.pick()
+            if task is None:
+                self._run_idle(deadline)
+                continue
+            ops_budget -= self._run_task(task, deadline)
+        self.timers.fire_due(self.clock.now)
+
+    def run_for(self, duration: int, max_ops: int | None = None) -> None:
+        """Advance simulated time by *duration* ticks."""
+        self.run_until(self.clock.now + duration, max_ops)
+
+    # ------------------------------------------------------------------
+
+    def _run_task(self, task: Task, deadline: int) -> int:
+        """Run *task* until it blocks, yields, exhausts its quantum, or the
+        run deadline passes.  Returns the number of ops dispatched."""
+        quantum_end = self.clock.now + self.sched.quantum
+        dispatched = 0
+        while True:
+            behavior = task.behavior
+            if behavior is None:
+                self.system.kernel.reap_task(task)
+                return dispatched
+            try:
+                op = next(behavior)
+            except StopIteration:
+                self.system.kernel.reap_task(task)
+                return dispatched
+            dispatched += 1
+            self.ops_dispatched += 1
+
+            if type(op) is ExecBlock:
+                ticks = self.cpu.execute(task, op)
+                self.clock.advance(ticks)
+                self.timers.fire_due(self.clock.now)
+                if self.clock.now >= quantum_end or self.clock.now >= deadline:
+                    self.sched.requeue(task)
+                    return dispatched
+            elif type(op) is Block:
+                task.state = TaskState.BLOCKED
+                task.waitq = op.waitq
+                op.waitq.add(task)
+                return dispatched
+            elif type(op) is Sleep:
+                self._sleep_until(task, self.clock.now + op.duration)
+                return dispatched
+            elif type(op) is SleepUntil:
+                if op.deadline <= self.clock.now:
+                    continue
+                self._sleep_until(task, op.deadline)
+                return dispatched
+            elif type(op) is Yield:
+                self.sched.requeue(task)
+                return dispatched
+            else:
+                raise SchedulerError(f"unknown op {op!r} from {task!r}")
+
+    def _sleep_until(self, task: Task, deadline: int) -> None:
+        task.state = TaskState.SLEEPING
+        self.timers.add(deadline, task)
+
+    def _run_idle(self, deadline: int) -> None:
+        """Nothing runnable: idle until the next timer (or the deadline)."""
+        next_timer = self.timers.next_deadline()
+        if next_timer is None or next_timer > deadline:
+            target = deadline
+        else:
+            target = max(next_timer, self.clock.now)
+        span = target - self.clock.now
+        if span > 0:
+            idle = self.system.kernel.idle_task
+            insts = int(span * IDLE_INSTS_PER_TICK)
+            if idle is not None and insts > 0:
+                self.profiler.charge_idle(idle.process.comm, idle.name, insts)
+            self.idle_ticks += span
+            self.clock.advance_to(target)
+        self.timers.fire_due(self.clock.now)

@@ -1,0 +1,94 @@
+"""Primitive operations yielded by task behaviours.
+
+Task behaviours are Python generators.  Each ``yield`` hands the engine one
+op; the engine charges its cost to the simulation clock and the memory
+profiler, or changes the task's scheduling state.  Anything with a side
+effect on kernel objects (waking a queue, spawning a task) is done by plain
+method calls inside the behaviour — only *time* and *blocking* must be
+expressed as ops.
+
+``ExecBlock`` is deliberately batched: one block may stand for millions of
+retired instructions.  Attribution stays exact because the block carries the
+code address and explicit data-target addresses, each resolved through the
+owning address space when the block retires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Union
+
+if TYPE_CHECKING:
+    from repro.kernel.waitq import WaitQueue
+
+
+@dataclass(frozen=True, slots=True)
+class ExecBlock:
+    """Retire *insts* instructions at *code_addr* plus data references.
+
+    ``data`` is a tuple of ``(address, count)`` pairs; each is attributed to
+    the VMA containing the address at retire time.
+    """
+
+    code_addr: int
+    insts: int
+    data: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.insts < 0:
+            raise ValueError(f"ExecBlock with negative insts: {self.insts}")
+
+    @property
+    def data_refs(self) -> int:
+        """Total data references carried by the block."""
+        return sum(count for _, count in self.data)
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """Block the current task on a wait queue until woken."""
+
+    waitq: "WaitQueue"
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Sleep for a relative number of ticks."""
+
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"Sleep with negative duration: {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class SleepUntil:
+    """Sleep until an absolute tick (no-op if already past)."""
+
+    deadline: int
+
+
+class Yield:
+    """Voluntarily give up the CPU; the task stays runnable."""
+
+    _instance: "Yield | None" = None
+
+    def __new__(cls) -> "Yield":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Yield()"
+
+
+YIELD = Yield()
+
+Op = Union[ExecBlock, Block, Sleep, SleepUntil, Yield]
+Behavior = Iterator[Op]
+
+
+def merge_data(*pairs: tuple[int, int]) -> tuple[tuple[int, int], ...]:
+    """Drop zero-count pairs and return a data tuple for :class:`ExecBlock`."""
+    return tuple((addr, count) for addr, count in pairs if count > 0)

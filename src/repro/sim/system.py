@@ -1,0 +1,61 @@
+"""Top-level simulated system: clock + CPU + profiler + kernel + devices.
+
+A :class:`System` is one simulated phone (or, for SPEC, the same phone
+running a console workload).  Construction is cheap; the Android stack is
+layered on by :func:`repro.android.boot.boot_android`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernel.kthreads import spawn_standard_kthreads
+from repro.kernel.pagecache import Filesystem
+from repro.kernel.proc import Kernel
+from repro.sim.cpu import AtomicCPU
+from repro.sim.devices import DeviceSet
+from repro.sim.engine import Engine
+from repro.sim.memprofiler import MemProfiler
+from repro.sim.ticks import Clock
+
+
+class System:
+    """One simulated machine."""
+
+    def __init__(self, seed: int = 1234, devices: DeviceSet | None = None) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.clock = Clock()
+        self.profiler = MemProfiler()
+        self.cpu = AtomicCPU(self.clock, self.profiler)
+        self.devices = devices if devices is not None else DeviceSet()
+        self.kernel = Kernel(self)
+        self.engine = Engine(self)
+        self.fs = Filesystem(self.kernel, self.devices.storage)
+        self._booted = False
+
+    def boot_kernel(self) -> None:
+        """Bring up the idle task and the standard kernel threads."""
+        if self._booted:
+            return
+        spawn_standard_kthreads(self.kernel, self.devices.storage)
+        self._booted = True
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self.clock.now
+
+    def run_for(self, duration: int, max_ops: int | None = None) -> None:
+        """Advance the simulation by *duration* ticks."""
+        self.engine.run_for(duration, max_ops)
+
+    def run_until(self, deadline: int, max_ops: int | None = None) -> None:
+        """Advance the simulation to the absolute tick *deadline*."""
+        self.engine.run_until(deadline, max_ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"System(now={self.clock.now}, procs={self.kernel.process_count()}, "
+            f"refs={self.profiler.total_refs})"
+        )

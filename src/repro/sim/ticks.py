@@ -1,0 +1,70 @@
+"""Simulation time base.
+
+The simulator counts time in integer *ticks*, one tick per simulated
+nanosecond, mirroring gem5's convention.  The atomic CPU model retires one
+instruction per cycle at :data:`CPU_FREQ_HZ`, so instruction counts convert
+directly to ticks.
+"""
+
+from __future__ import annotations
+
+TICKS_PER_SECOND: int = 1_000_000_000
+TICKS_PER_MS: int = TICKS_PER_SECOND // 1_000
+TICKS_PER_US: int = TICKS_PER_SECOND // 1_000_000
+
+CPU_FREQ_HZ: int = 1_000_000_000
+TICKS_PER_INST: int = TICKS_PER_SECOND // CPU_FREQ_HZ
+
+
+def seconds(n: float) -> int:
+    """Convert seconds to ticks."""
+    return int(n * TICKS_PER_SECOND)
+
+
+def millis(n: float) -> int:
+    """Convert milliseconds to ticks."""
+    return int(n * TICKS_PER_MS)
+
+
+def micros(n: float) -> int:
+    """Convert microseconds to ticks."""
+    return int(n * TICKS_PER_US)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert ticks back to (float) seconds."""
+    return ticks / TICKS_PER_SECOND
+
+
+def insts_to_ticks(insts: int) -> int:
+    """Ticks consumed by retiring *insts* instructions on the atomic CPU."""
+    return insts * TICKS_PER_INST
+
+
+class Clock:
+    """Monotonic simulation clock.
+
+    The clock only moves forward; the engine advances it as ops retire and
+    when the system idles until the next timer deadline.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.now = start
+
+    def advance(self, delta: int) -> int:
+        """Move the clock forward by *delta* ticks and return the new time."""
+        if delta < 0:
+            raise ValueError(f"clock cannot run backwards (delta={delta})")
+        self.now += delta
+        return self.now
+
+    def advance_to(self, when: int) -> int:
+        """Move the clock forward to absolute tick *when* (no-op if past)."""
+        if when > self.now:
+            self.now = when
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self.now})"

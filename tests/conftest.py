@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Benchmark-running fixtures are session-scoped: the simulated windows are
+short (fractions of a simulated second) so the whole test suite stays
+fast, but every consumer sees the same deterministic results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+
+@pytest.fixture
+def system() -> System:
+    """A fresh, booted bare system (kernel threads only)."""
+    sys_ = System(seed=99)
+    sys_.boot_kernel()
+    return sys_
+
+
+@pytest.fixture
+def cold_system() -> System:
+    """A fresh system with nothing booted."""
+    return System(seed=7)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> RunConfig:
+    """Short windows for test runs."""
+    return RunConfig(duration_ticks=seconds(1), settle_ticks=millis(250), seed=4242)
+
+
+@pytest.fixture(scope="session")
+def quick_suite(quick_config):
+    """A representative subset of the suite, run once per session."""
+    runner = SuiteRunner(quick_config)
+    ids = [
+        "countdown.main",
+        "doom.main",
+        "gallery.mp4.view",
+        "music.mp3.view",
+        "music.mp3.view.bkg",
+        "odr.txt.view",
+        "osmand.map.view",
+        "pm.apk.view",
+        "vlc.mp3.view",
+        "401.bzip2",
+        "462.libquantum",
+        "999.specrand",
+    ]
+    return runner.run_suite(ids)
+
+
+@pytest.fixture(scope="session")
+def full_suite(quick_config):
+    """Every benchmark, short windows (used by analysis-level tests)."""
+    runner = SuiteRunner(quick_config)
+    return runner.run_suite()

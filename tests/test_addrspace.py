@@ -1,0 +1,186 @@
+"""AddressSpace: mmap/munmap/brk/find_vma semantics + invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressSpaceError, SegmentationFault
+from repro.kernel import layout
+from repro.kernel.addrspace import AddressSpace
+from repro.kernel.vma import VMAKind
+
+
+def test_mmap_allocates_top_down():
+    mm = AddressSpace("t")
+    a = mm.mmap(4096, "a")
+    b = mm.mmap(4096, "b")
+    assert b.end <= a.start
+    assert a.end <= layout.MMAP_TOP
+
+
+def test_mmap_rejects_zero_size():
+    mm = AddressSpace("t")
+    with pytest.raises(AddressSpaceError):
+        mm.mmap(0, "z")
+
+
+def test_find_vma_hits_and_misses():
+    mm = AddressSpace("t")
+    vma = mm.mmap(8192, "lib")
+    assert mm.find_vma(vma.start) is vma
+    assert mm.find_vma(vma.end - 1) is vma
+    with pytest.raises(SegmentationFault):
+        mm.find_vma(vma.end)
+
+
+def test_find_vma_or_none():
+    mm = AddressSpace("t")
+    assert mm.find_vma_or_none(0x1234_0000) is None
+
+
+def test_label_at_kernel_addresses_short_circuit():
+    mm = AddressSpace("t")
+    assert mm.label_at(layout.KERNEL_BASE + 4096) == "OS kernel"
+
+
+def test_map_fixed_overlap_rejected():
+    mm = AddressSpace("t")
+    mm.map_fixed(0x10000, 0x4000, "a", VMAKind.ANON)
+    with pytest.raises(AddressSpaceError):
+        mm.map_fixed(0x12000, 0x4000, "b", VMAKind.ANON)
+
+
+def test_map_fixed_adjacent_ok():
+    mm = AddressSpace("t")
+    a = mm.map_fixed(0x10000, 0x4000, "a", VMAKind.ANON)
+    b = mm.map_fixed(a.end, 0x4000, "b", VMAKind.ANON)
+    assert b.start == a.end
+
+
+def test_munmap_removes():
+    mm = AddressSpace("t")
+    vma = mm.mmap(4096, "gone")
+    mm.munmap(vma)
+    assert mm.find_vma_or_none(vma.start) is None
+
+
+def test_munmap_unknown_raises():
+    mm = AddressSpace("t")
+    vma = mm.mmap(4096, "gone")
+    mm.munmap(vma)
+    with pytest.raises(AddressSpaceError):
+        mm.munmap(vma)
+
+
+def test_brk_grows_heap_region():
+    mm = AddressSpace("t")
+    mm.setup_brk(0x0200_0000)
+    mm.brk(0x0200_0000 + 10_000)
+    heap = mm.heap_vma
+    assert heap is not None
+    assert heap.label == "heap"
+    assert heap.size >= 10_000
+    mm.brk(heap.start + 50_000)
+    assert mm.heap_vma.size >= 50_000
+
+
+def test_brk_before_setup_raises():
+    mm = AddressSpace("t")
+    with pytest.raises(AddressSpaceError):
+        mm.brk(0x1000)
+
+
+def test_sbrk_returns_old_break():
+    mm = AddressSpace("t")
+    mm.setup_brk(0x0200_0000)
+    first = mm.sbrk(4096)
+    second = mm.sbrk(4096)
+    assert second > first
+
+
+def test_main_stack_below_stack_top():
+    mm = AddressSpace("t")
+    stack = mm.map_main_stack()
+    assert stack.end == layout.STACK_TOP
+    assert stack.label == "stack"
+
+
+def test_thread_stack_in_mmap_area():
+    mm = AddressSpace("t")
+    stack = mm.map_thread_stack()
+    assert stack.end <= layout.MMAP_TOP
+    assert stack.label == "stack"
+
+
+def test_labels_are_deduplicated():
+    mm = AddressSpace("t")
+    mm.mmap(4096, "same")
+    mm.mmap(4096, "same")
+    assert list(mm.labels()).count("same") == 1
+
+
+def test_clone_copies_private_mappings():
+    mm = AddressSpace("parent")
+    vma = mm.mmap(4096, "private")
+    child = mm.clone("child")
+    child_vma = child.find_vma(vma.start)
+    assert child_vma is not vma
+    assert child_vma.label == "private"
+
+
+def test_clone_shares_shared_mappings():
+    mm = AddressSpace("parent")
+    vma = mm.mmap(4096, "shared", shared=True)
+    child = mm.clone("child")
+    assert child.find_vma(vma.start) is vma
+
+
+def test_clone_preserves_heap_identity():
+    mm = AddressSpace("parent")
+    mm.setup_brk(0x0200_0000)
+    mm.sbrk(8192)
+    child = mm.clone("child")
+    assert child.heap_vma is not None
+    assert child.heap_vma.start == mm.heap_vma.start
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+
+@st.composite
+def mmap_sizes(draw):
+    return draw(st.lists(st.integers(min_value=1, max_value=1 << 22), min_size=1,
+                         max_size=40))
+
+
+@given(mmap_sizes())
+@settings(max_examples=60, deadline=None)
+def test_mappings_never_overlap(sizes):
+    mm = AddressSpace("prop")
+    vmas = [mm.mmap(size, f"r{i}") for i, size in enumerate(sizes)]
+    ordered = sorted(vmas, key=lambda v: v.start)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.start
+
+
+@given(mmap_sizes(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_find_vma_agrees_with_linear_scan(sizes, rng):
+    mm = AddressSpace("prop")
+    for i, size in enumerate(sizes):
+        mm.mmap(size, f"r{i}")
+    for _ in range(50):
+        addr = rng.randrange(0, layout.MMAP_TOP)
+        linear = next((v for v in mm if v.contains(addr)), None)
+        assert mm.find_vma_or_none(addr) is linear
+
+
+@given(mmap_sizes())
+@settings(max_examples=40, deadline=None)
+def test_munmap_everything_empties_the_space(sizes):
+    mm = AddressSpace("prop")
+    vmas = [mm.mmap(size, f"r{i}") for i, size in enumerate(sizes)]
+    for vma in vmas:
+        mm.munmap(vma)
+    assert len(mm) == 0
+    assert mm.total_mapped() == 0

@@ -1,0 +1,207 @@
+"""Analysis layer: breakdowns, figures, Table I, claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.breakdown import build_stacked, shares, top_categories
+from repro.analysis.tables import canonical_thread_name, table1
+from repro.core.results import RunResult, SuiteResult
+from repro.errors import AnalysisError
+
+
+def make_run(bench_id="b1", **overrides):
+    run = RunResult(
+        bench_id=bench_id,
+        benchmark_comm="com.example",
+        duration_ticks=1_000,
+        seed=1,
+        instr_by_region={"mspace": 60, "libdvm.so": 30, "OS kernel": 10},
+        data_by_region={"heap": 50, "anonymous": 50},
+        instr_by_proc={"com.example": 70, "system_server": 30},
+        data_by_proc={"com.example": 80, "system_server": 20},
+        refs_by_thread={("com.example", "com.example"): 100,
+                        ("system_server", "SurfaceFlinger"): 80},
+        live_processes=25,
+        threads_spawned_total=50,
+    )
+    for key, value in overrides.items():
+        setattr(run, key, value)
+    return run
+
+
+# ---------------------------------------------------------------------------
+# shares / top_categories
+
+def test_shares_normalises_to_percent():
+    pct = shares({"a": 1, "b": 3})
+    assert pct["a"] == pytest.approx(25.0)
+    assert pct["b"] == pytest.approx(75.0)
+
+
+def test_shares_empty():
+    assert shares({}) == {}
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=6),
+                       st.integers(min_value=1, max_value=10**9),
+                       min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_shares_sum_to_100(counts):
+    assert sum(shares(counts).values()) == pytest.approx(100.0)
+
+
+def test_top_categories_orders_by_total():
+    per_bench = {
+        "b1": {"x": 100, "y": 1},
+        "b2": {"x": 100, "z": 50},
+    }
+    cats, other = top_categories(per_bench, top_n=2)
+    assert cats == ["x", "z"]
+    assert other == 1
+
+
+def test_top_categories_pins():
+    per_bench = {"b1": {"x": 100, "y": 90, "z": 80, "pinme": 1}}
+    cats, other = top_categories(per_bench, top_n=3, pinned=("pinme",))
+    assert "pinme" in cats
+
+
+# ---------------------------------------------------------------------------
+# build_stacked
+
+def test_build_stacked_columns_sum_to_100():
+    per_bench = {
+        "b1": {"x": 10, "y": 20, "z": 70},
+        "b2": {"x": 100},
+    }
+    fig = build_stacked(per_bench, ["b1", "b2"], top_n=2, title="t")
+    fig.check_sums()
+    col = fig.column("b1")
+    assert sum(col.values()) == pytest.approx(100.0)
+
+
+def test_build_stacked_other_label():
+    per_bench = {"b1": {"a": 1, "b": 1, "c": 1}}
+    fig = build_stacked(per_bench, ["b1"], top_n=2)
+    assert fig.other_label == "other (1 items)"
+
+
+def test_build_stacked_unknown_benchmark_column():
+    per_bench = {"b1": {"a": 1}}
+    fig = build_stacked(per_bench, ["b1"], top_n=1)
+    with pytest.raises(AnalysisError):
+        fig.column("nope")
+
+
+def test_build_stacked_empty_raises():
+    with pytest.raises(AnalysisError):
+        build_stacked({}, [], top_n=3)
+
+
+@given(st.dictionaries(
+    st.sampled_from(["b1", "b2", "b3"]),
+    st.dictionaries(st.sampled_from("abcdefgh"),
+                    st.integers(min_value=1, max_value=1000),
+                    min_size=1, max_size=8),
+    min_size=1, max_size=3,
+))
+@settings(max_examples=60, deadline=None)
+def test_build_stacked_always_sums_to_100(per_bench):
+    fig = build_stacked(per_bench, sorted(per_bench), top_n=3)
+    fig.check_sums()  # raises on violation
+
+
+# ---------------------------------------------------------------------------
+# Figures on run results
+
+def test_figure_benchmark_process_folding():
+    from repro.analysis.figures import figure3
+
+    suite = SuiteResult()
+    suite.add(make_run())
+    fig = figure3(suite, bench_order=["b1"])
+    col = fig.column("b1")
+    assert col["benchmark"] == pytest.approx(70.0)
+    assert col["system_server"] == pytest.approx(30.0)
+
+
+def test_figure_dispatch():
+    from repro.analysis.figures import build_figure
+
+    suite = SuiteResult()
+    suite.add(make_run())
+    for n in (1, 2, 3, 4):
+        fig = build_figure(n, suite, bench_order=["b1"])
+        fig.check_sums()
+    with pytest.raises(ValueError):
+        build_figure(5, suite)
+
+
+# ---------------------------------------------------------------------------
+# Table I canonicalisation
+
+@pytest.mark.parametrize(
+    "comm,thread,expected",
+    [
+        ("system_server", "SurfaceFlinger", "SurfaceFlinger"),
+        ("com.app", "Thread-12", "Thread"),
+        ("com.app", "AsyncTask #3", "AsyncTask"),
+        ("system_server", "Binder Thread #5", "Binder Thread"),
+        ("mediaserver", "AudioOut_1", "AudioOut"),
+        ("mediaserver", "AudioTrackThread", "AudioTrackThread"),
+        ("com.app", "Compiler", "Compiler"),
+        ("com.app", "GC", "GC"),
+        ("ata_sff/0", "ata_sff/0", "ata_sff/0"),
+        ("com.app", "com.app", "com.app"),
+        ("com.app", "TileLoader-7", "TileLoader"),
+    ],
+)
+def test_canonical_thread_name(comm, thread, expected):
+    assert canonical_thread_name(comm, thread) == expected
+
+
+def test_table1_aggregates_and_ranks():
+    suite = SuiteResult()
+    suite.add(make_run("aard.main"))
+    run2 = make_run("doom.main")
+    run2.refs_by_thread = {("system_server", "SurfaceFlinger"): 320}
+    suite.add(run2)
+    table = table1(suite, bench_ids=["aard.main", "doom.main"])
+    assert table.rows[0].thread == "SurfaceFlinger"
+    assert table.percent_of("SurfaceFlinger") == pytest.approx(
+        100.0 * 400 / 500
+    )
+    assert table.percent_of("missing") == 0.0
+
+
+def test_table1_percentages_sum_to_100():
+    suite = SuiteResult()
+    suite.add(make_run("aard.main"))
+    table = table1(suite, bench_ids=["aard.main"])
+    assert sum(r.percent for r in table.rows) == pytest.approx(100.0)
+
+
+# ---------------------------------------------------------------------------
+# RunResult metrics
+
+def test_run_result_region_counts():
+    run = make_run()
+    assert run.code_region_count() == 3
+    assert run.data_region_count() == 2
+    assert run.process_count() == 2
+    assert run.thread_count() == 2
+
+
+def test_run_result_shares():
+    run = make_run()
+    assert run.benchmark_share_instr() == pytest.approx(0.7)
+    assert run.proc_share("system_server") == pytest.approx(0.3)
+    assert run.region_share("mspace") == pytest.approx(0.6)
+
+
+def test_effective_region_count():
+    run = make_run()
+    run.instr_by_region = {"a": 990, "b": 5, "c": 5}
+    assert run.effective_region_count(0.99) == 1
+    assert run.effective_region_count(1.0) == 3

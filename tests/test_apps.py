@@ -1,0 +1,185 @@
+"""Per-application workload behaviour (launch + signature effects)."""
+
+import pytest
+
+from repro.core import RunConfig, SuiteRunner
+from repro.core.suite import AGAVE_IDS, ALL_BENCHMARKS, get_benchmark
+from repro.sim.ticks import millis, seconds
+
+RUNNER = SuiteRunner(
+    RunConfig(duration_ticks=seconds(1), settle_ticks=millis(250), seed=909)
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cache = {}
+
+    def get(bench_id):
+        if bench_id not in cache:
+            cache[bench_id] = RUNNER.run(bench_id)
+        return cache[bench_id]
+
+    return get
+
+
+def test_registry_has_19_agave_and_6_spec():
+    assert len(AGAVE_IDS) == 19
+    assert len([b for b in ALL_BENCHMARKS if b.is_spec]) == 6
+
+
+def test_every_agave_app_launches(full_suite):
+    for bench_id in AGAVE_IDS:
+        run = full_suite.get(bench_id)
+        assert run.meta["launched"], bench_id
+        assert run.total_refs > 0, bench_id
+
+
+def test_benchmark_comm_present_in_profile(full_suite):
+    for bench_id in AGAVE_IDS:
+        run = full_suite.get(bench_id)
+        assert run.benchmark_comm in run.instr_by_proc, bench_id
+
+
+def test_foreground_apps_draw_frames(full_suite):
+    for bench_id in ("doom.main", "frozenbubble.main", "coolreader.epub.view"):
+        assert full_suite.get(bench_id).meta["frames_drawn"] > 0, bench_id
+
+
+def test_background_apps_have_no_frames(full_suite):
+    for bench_id in ("music.mp3.view.bkg", "vlc.mp3.view.bkg", "pm.apk.view.bkg"):
+        assert full_suite.get(bench_id).meta["frames_drawn"] == 0, bench_id
+
+
+def test_coolreader_uses_cr3_engine(runs):
+    run = runs("coolreader.epub.view")
+    assert run.instr_by_region.get("libcr3engine-3-1-1.so", 0) > 0
+
+
+def test_doom_uses_prboom(runs):
+    run = runs("doom.main")
+    assert run.instr_by_region.get("libprboom.so", 0) > 0
+    assert run.region_share("mspace", instr=True) > 0.1
+
+
+def test_gallery_dominated_by_mediaserver(runs):
+    run = runs("gallery.mp4.view")
+    assert run.proc_share("mediaserver", instr=True) > 0.5
+    assert run.instr_by_region.get("libstagefright.so", 0) > 0
+
+
+def test_music_fg_vs_bkg_sf_collapse(runs):
+    fg = runs("music.mp3.view")
+    bkg = runs("music.mp3.view.bkg")
+    fg_sf = fg.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0) / fg.total_refs
+    bkg_sf = bkg.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0) / bkg.total_refs
+    assert bkg_sf < fg_sf
+
+
+def test_vlc_decodes_in_process(runs):
+    run = runs("vlc.mp3.view")
+    assert run.instr_by_region.get("libvlccore.so", 0) > 0
+    # VLC's own process should out-execute mediaserver.
+    assert run.proc_share(run.benchmark_comm) > run.proc_share("mediaserver")
+
+
+def test_vlc_audiotrack_in_app_process(runs):
+    run = runs("vlc.mp3.view")
+    assert run.refs_by_thread.get((run.benchmark_comm, "AudioTrackThread"), 0) > 0
+
+
+def test_pm_drives_dexopt_and_defcontainer(runs):
+    run = runs("pm.apk.view")
+    assert run.instr_by_proc.get("dexopt", 0) > 0
+    assert run.instr_by_proc.get("id.defcontainer", 0) > 0
+
+
+def test_osmand_uses_native_renderer_and_loaders(runs):
+    run = runs("osmand.map.view")
+    assert run.instr_by_region.get("libosmrender.so", 0) > 0
+    tile_threads = [
+        t for (comm, t) in run.refs_by_thread if t.startswith("TileLoader")
+    ]
+    assert tile_threads
+
+
+def test_osmand_nav_reroutes(runs):
+    run = runs("osmand.nav.view")
+    asynctask = sum(
+        v for (comm, t), v in run.refs_by_thread.items()
+        if t.startswith("AsyncTask")
+    )
+    assert asynctask > 0
+
+
+def test_games_run_jit_compiler(runs):
+    run = runs("frozenbubble.main")
+    assert run.meta["jit_compiled"] > 0
+    assert run.refs_by_thread.get((run.benchmark_comm, "Compiler"), 0) > 0
+    assert run.instr_by_region.get("dalvik-jit-code-cache", 0) > 0
+
+
+def test_jetboy_uses_sonivox(runs):
+    run = runs("jetboy.main")
+    assert run.instr_by_region.get("libsonivox.so", 0) > 0
+
+
+def test_aard_uses_webcore(runs):
+    run = runs("aard.main")
+    assert run.instr_by_region.get("libwebcore.so", 0) > 0
+    assert run.data_by_region.get("enwiki-slim.aar", 0) > 0
+
+
+def test_odr_variants_differ(runs):
+    xls = runs("odr.xls.view")
+    txt = runs("odr.txt.view")
+    ppt = runs("odr.ppt.view")
+    # All three parse their documents through libexpat...
+    for run in (xls, txt, ppt):
+        assert run.instr_by_region.get("libexpat.so", 0) > 0
+        assert run.data_by_region.get(run.meta["package"] + ".apk", 0) >= 0
+    # ...but the inputs produce three distinct workload fingerprints.
+    fingerprints = {round(r.total_refs, -3) for r in (xls, txt, ppt)}
+    assert len(fingerprints) == 3
+
+
+def test_countdown_is_lightest(full_suite):
+    counts = {
+        b: full_suite.get(b).total_refs
+        for b in AGAVE_IDS
+        if b in full_suite.runs
+    }
+    lightest = min(counts, key=counts.get)
+    assert lightest in ("countdown.main", "music.mp3.view.bkg", "vlc.mp3.view.bkg")
+
+
+def test_apps_touch_dalvik_regions(full_suite):
+    for bench_id in AGAVE_IDS:
+        run = full_suite.get(bench_id)
+        assert run.data_by_region.get("dalvik-heap", 0) > 0, bench_id
+
+
+def test_model_factories_take_seed():
+    for bench in ALL_BENCHMARKS:
+        model = bench.factory(7)
+        assert model is not None
+
+
+def test_input_files_created(runs):
+    spec = get_benchmark("doom.main")
+    model = spec.factory(1)
+    from repro.sim.system import System
+
+    system = System(seed=1)
+    files = model.setup_files(system)
+    assert "doom1.wad" in files
+    assert model.file("doom1.wad").size == 4 * 1024 * 1024
+
+
+def test_missing_input_file_raises():
+    from repro.apps.doom import DoomModel
+    from repro.errors import WorkloadError
+
+    model = DoomModel(seed=1)
+    with pytest.raises(WorkloadError):
+        model.file("doom1.wad")

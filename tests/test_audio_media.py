@@ -1,0 +1,147 @@
+"""AudioFlinger/AudioTrack and mediaserver playback sessions."""
+
+import pytest
+
+from repro.android.boot import boot_android
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+
+@pytest.fixture
+def stack():
+    system = System(seed=77)
+    st = boot_android(system)
+    system.run_for(millis(500))
+    system.profiler.reset()
+    return system, st
+
+
+def make_player(system, st, kind, fname, size):
+    """Spawn a client process that starts a playback session."""
+    from repro.android.binder import transact
+    from repro.libs.registry import resolve
+
+    f = system.fs.create(fname, size)
+    client = system.kernel.spawn_process("playerclient")
+    system.kernel.loader.map_many(
+        client, resolve(("linker", "libc.so", "libbinder.so", "libutils.so"))
+    )
+    box = {}
+
+    def main(task):
+        ref = st.registry.lookup("media.player")
+        txn = yield from transact(
+            system.kernel, client, ref, "play",
+            args={"file": f, "kind": kind},
+        )
+        box["session"] = txn.reply["session"]
+        while True:
+            from repro.sim.ops import Sleep
+
+            yield Sleep(seconds(1))
+
+    system.kernel.set_main_behavior(client, main)
+    return client, box
+
+
+def test_mp3_session_decodes_in_mediaserver(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "song.mp3", 4 << 20)
+    system.run_for(seconds(1))
+    assert system.profiler.instr_by_proc.get("mediaserver", 0) > 0
+    assert system.profiler.instr_by_region.get("libstagefright.so", 0) > 0
+
+
+def test_mp3_session_produces_audio_output(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "song.mp3", 4 << 20)
+    system.run_for(seconds(1))
+    assert system.devices.audio.bytes_written > 0
+    assert st.af.mix_cycles > 0
+
+
+def test_audiotrack_thread_runs_in_mediaserver(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "song.mp3", 4 << 20)
+    system.run_for(seconds(1))
+    assert system.profiler.refs_by_thread.get(
+        ("mediaserver", "AudioTrackThread"), 0
+    ) > 0
+
+
+def test_decode_thread_is_timedeventqueue(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "song.mp3", 4 << 20)
+    system.run_for(seconds(1))
+    assert system.profiler.refs_by_thread.get(
+        ("mediaserver", "TimedEventQueue"), 0
+    ) > 0
+
+
+def test_mp4_session_creates_overlay_layer(stack):
+    system, st = stack
+    _, box = make_player(system, st, "mp4", "movie.mp4", 16 << 20)
+    system.run_for(seconds(1))
+    session = box["session"]
+    assert session.video_surface is not None
+    assert session.video_surface.layer.overlay
+    assert session.video_frames > 0
+
+
+def test_mp4_decoder_writes_fb0_from_mediaserver(stack):
+    system, st = stack
+    make_player(system, st, "mp4", "movie.mp4", 16 << 20)
+    system.run_for(seconds(1))
+    fb_refs = system.profiler.data_by_proc_region.get(
+        ("mediaserver", "fb0 (frame buffer)"), 0
+    )
+    assert fb_refs > 0
+
+
+def test_stop_halts_session(stack):
+    system, st = stack
+    from repro.android.binder import transact
+    from repro.libs.registry import resolve
+    from repro.sim.ops import Sleep
+
+    f = system.fs.create("s.mp3", 4 << 20)
+    client = system.kernel.spawn_process("stopper")
+    system.kernel.loader.map_many(
+        client, resolve(("linker", "libc.so", "libbinder.so", "libutils.so"))
+    )
+    box = {}
+
+    def main(task):
+        ref = st.registry.lookup("media.player")
+        txn = yield from transact(
+            system.kernel, client, ref, "play", args={"file": f, "kind": "mp3"}
+        )
+        session = txn.reply["session"]
+        box["session"] = session
+        yield Sleep(millis(300))
+        yield from transact(
+            system.kernel, client, ref, "stop", args={"session": session}
+        )
+
+    system.kernel.set_main_behavior(client, main)
+    system.run_for(seconds(1))
+    session = box["session"]
+    assert not session.active
+    frames = session.frames_decoded
+    system.run_for(millis(500))
+    assert session.frames_decoded == frames
+
+
+def test_mediaserver_maps_media_file(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "mapped.mp3", 4 << 20)
+    system.run_for(millis(300))
+    assert st.mediaserver.proc.has_region("mapped.mp3")
+
+
+def test_mixer_consumes_buffered_pcm(stack):
+    system, st = stack
+    make_player(system, st, "mp3", "song.mp3", 4 << 20)
+    system.run_for(seconds(1))
+    track = st.af.tracks[-1]
+    assert track.bytes_played > 0

@@ -1,0 +1,168 @@
+"""Binder IPC: delivery, reply, cross-process attribution."""
+
+import pytest
+
+from repro.android.binder import BinderHost, ServiceRegistry, transact
+from repro.errors import BinderError
+from repro.kernel.syscalls import kernel_exec
+from repro.libs.registry import resolve
+from repro.sim.ops import Sleep
+from repro.sim.ticks import millis
+
+CLIENT_LIBS = ("linker", "libc.so", "libbinder.so", "libutils.so")
+
+
+@pytest.fixture
+def binder_world(system):
+    kernel = system.kernel
+    server = kernel.spawn_process("serverproc")
+    kernel.loader.map_many(server, resolve(CLIENT_LIBS))
+    client = kernel.spawn_process("clientproc")
+    kernel.loader.map_many(client, resolve(CLIENT_LIBS))
+    host = BinderHost(kernel, server, nthreads=2)
+    registry = ServiceRegistry()
+    return system, server, client, host, registry
+
+
+def test_transact_roundtrip(binder_world):
+    system, server, client, host, registry = binder_world
+    calls = []
+
+    def handler(txn):
+        calls.append(txn.code)
+        txn.reply["answer"] = 42
+        yield kernel_exec("svc_work", 1_000, 50)
+
+    ref = registry.add("echo", host, handler)
+    replies = []
+
+    def client_main(task):
+        txn = yield from transact(system.kernel, client, ref, "ping")
+        replies.append(txn.reply["answer"])
+
+    system.kernel.set_main_behavior(client, client_main)
+    system.run_for(millis(50))
+    assert calls == ["ping"]
+    assert replies == [42]
+
+
+def test_handler_work_attributed_to_server_process(binder_world):
+    system, server, client, host, registry = binder_world
+
+    def handler(txn):
+        yield kernel_exec("svc_heavy", 100_000, 500)
+
+    ref = registry.add("svc", host, handler)
+
+    def client_main(task):
+        yield from transact(system.kernel, client, ref, "go")
+
+    system.kernel.set_main_behavior(client, client_main)
+    system.run_for(millis(50))
+    assert system.profiler.instr_by_proc.get("serverproc", 0) >= 100_000
+    # Served on a binder pool thread.
+    assert any(
+        t == ("serverproc", "Binder Thread #1")
+        or t == ("serverproc", "Binder Thread #2")
+        for t in system.profiler.refs_by_thread
+    )
+
+
+def test_oneway_does_not_block_client(binder_world):
+    system, server, client, host, registry = binder_world
+    order = []
+
+    def handler(txn):
+        order.append("handled")
+        yield kernel_exec("svc", 10, 1)
+
+    ref = registry.add("oneway", host, handler)
+
+    def client_main(task):
+        yield from transact(system.kernel, client, ref, "fire", oneway=True)
+        order.append("client-continues")
+        yield Sleep(millis(5))
+
+    system.kernel.set_main_behavior(client, client_main)
+    system.run_for(millis(50))
+    # Client continued without waiting for the handler.
+    assert order.index("client-continues") < order.index("handled")
+
+
+def test_unknown_service_raises():
+    registry = ServiceRegistry()
+    with pytest.raises(BinderError):
+        registry.lookup("ghost")
+
+
+def test_duplicate_service_rejected(binder_world):
+    _, _, _, host, registry = binder_world
+
+    def handler(txn):
+        yield kernel_exec("x", 1, 0)
+
+    registry.add("dup", host, handler)
+    with pytest.raises(BinderError):
+        registry.add("dup", host, handler)
+
+
+def test_registry_names_sorted(binder_world):
+    _, _, _, host, registry = binder_world
+
+    def handler(txn):
+        yield kernel_exec("x", 1, 0)
+
+    registry.add("zeta", host, handler)
+    registry.add("alpha", host, handler)
+    assert registry.names() == ("alpha", "zeta")
+
+
+def test_transaction_args_passed_through(binder_world):
+    system, server, client, host, registry = binder_world
+    got = {}
+
+    def handler(txn):
+        got.update(txn.args)
+        yield kernel_exec("x", 1, 0)
+
+    ref = registry.add("argsvc", host, handler)
+
+    def client_main(task):
+        yield from transact(
+            system.kernel, client, ref, "code", args={"key": "value"}
+        )
+
+    system.kernel.set_main_behavior(client, client_main)
+    system.run_for(millis(50))
+    assert got == {"key": "value"}
+
+
+def test_binder_mapping_region_created(binder_world):
+    _, server, client, _, _ = binder_world
+    assert server.has_region("binder-mapping")
+
+
+def test_many_concurrent_transactions(binder_world):
+    system, server, client, host, registry = binder_world
+    served = []
+
+    def handler(txn):
+        served.append(txn.code)
+        yield kernel_exec("svc", 5_000, 20)
+
+    ref = registry.add("many", host, handler)
+
+    def make_client(i):
+        proc = system.kernel.spawn_process(f"client{i}")
+        system.kernel.loader.map_many(proc, resolve(CLIENT_LIBS))
+
+        def main(task):
+            txn = yield from transact(system.kernel, proc, ref, f"c{i}")
+            assert txn.completed
+
+        system.kernel.set_main_behavior(proc, main)
+
+    for i in range(6):
+        make_client(i)
+    system.run_for(millis(100))
+    assert sorted(served) == [f"c{i}" for i in range(6)]

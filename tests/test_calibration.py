@@ -1,0 +1,83 @@
+"""Calibration plumbing and ablation hooks."""
+
+import pytest
+
+from repro import calibration
+from repro.calibration import Calibration, current, use_calibration
+
+
+def test_default_calibration_is_active():
+    assert current() is calibration.CAL
+
+
+def test_use_calibration_swaps_and_restores():
+    original = current()
+    custom = Calibration(sf_insts_per_pixel=99.0)
+    with use_calibration(custom):
+        assert current().sf_insts_per_pixel == 99.0
+    assert current() is original
+
+
+def test_use_calibration_restores_on_exception():
+    original = current()
+    with pytest.raises(RuntimeError):
+        with use_calibration(Calibration(sf_insts_per_pixel=1.0)):
+            raise RuntimeError("boom")
+    assert current() is original
+
+
+def test_scaled_multiplies_graphics_costs():
+    base = Calibration()
+    doubled = base.scaled(2.0)
+    assert doubled.sf_insts_per_pixel == pytest.approx(base.sf_insts_per_pixel * 2)
+    assert doubled.blit_insts_per_pixel == pytest.approx(
+        base.blit_insts_per_pixel * 2
+    )
+    # Non-graphics knobs untouched.
+    assert doubled.mp3_insts_per_frame == base.mp3_insts_per_frame
+
+
+def test_calibration_is_frozen():
+    with pytest.raises(Exception):
+        Calibration().sf_insts_per_pixel = 1.0
+
+
+def test_jit_ablation_changes_profile():
+    """Running with the JIT off must remove jit-code-cache references."""
+    from repro.core import RunConfig, SuiteRunner
+    from repro.sim.ticks import millis
+
+    runner = SuiteRunner()
+    on = runner.run(
+        "frozenbubble.main",
+        RunConfig(duration_ticks=millis(800), settle_ticks=millis(200),
+                  jit_enabled=True),
+    )
+    off = runner.run(
+        "frozenbubble.main",
+        RunConfig(duration_ticks=millis(800), settle_ticks=millis(200),
+                  jit_enabled=False),
+    )
+    assert on.instr_by_region.get("dalvik-jit-code-cache", 0) > 0
+    assert off.instr_by_region.get("dalvik-jit-code-cache", 0) == 0
+    assert off.meta["jit_compiled"] == 0
+
+
+def test_calibration_override_through_runconfig():
+    from repro.core import RunConfig, SuiteRunner
+    from repro.sim.ticks import millis
+
+    runner = SuiteRunner()
+    cheap = runner.run(
+        "countdown.main",
+        RunConfig(duration_ticks=millis(600), settle_ticks=millis(200),
+                  calibration=Calibration().scaled(0.25)),
+    )
+    expensive = runner.run(
+        "countdown.main",
+        RunConfig(duration_ticks=millis(600), settle_ticks=millis(200),
+                  calibration=Calibration().scaled(4.0)),
+    )
+    cheap_sf = cheap.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0)
+    costly_sf = expensive.refs_by_thread.get(("system_server", "SurfaceFlinger"), 0)
+    assert costly_sf > cheap_sf

@@ -1,0 +1,63 @@
+"""Platform devices."""
+
+from repro.kernel.waitq import WaitQueue
+from repro.sim.devices import (
+    AudioDevice,
+    DeviceSet,
+    FramebufferDevice,
+    IORequest,
+    StorageDevice,
+)
+
+
+def test_framebuffer_geometry():
+    fb = FramebufferDevice()
+    assert fb.pixels == 800 * 480
+    assert fb.frame_bytes == 800 * 480 * 2
+
+
+def test_framebuffer_post_counts():
+    fb = FramebufferDevice()
+    fb.post()
+    fb.post()
+    assert fb.frames_posted == 2
+
+
+def test_storage_transfer_time_scales():
+    dev = StorageDevice()
+    small = dev.transfer_ticks(4_096)
+    big = dev.transfer_ticks(4 << 20)
+    assert big > small
+    assert small >= dev.LATENCY_TICKS
+
+
+def test_storage_submit_wakes_worker():
+    dev = StorageDevice()
+    woken = []
+
+    class FakeQ:
+        def wake_all(self):
+            woken.append(True)
+
+    dev.worker_q = FakeQ()
+    dev.submit(IORequest(1_000, WaitQueue("done"), 0))
+    assert woken
+    assert dev.requests_submitted == 1
+    assert dev.pop() is not None
+    assert dev.pop() is None
+
+
+def test_audio_device_accounts_bytes():
+    audio = AudioDevice()
+    audio.write(1_000)
+    audio.write(2_000)
+    assert audio.bytes_written == 3_000
+    assert audio.buffers_mixed == 2
+    assert audio.bytes_per_second == 44_100 * 2 * 2
+
+
+def test_device_set_defaults():
+    devices = DeviceSet()
+    assert devices.framebuffer.pixels > 0
+    assert devices.storage.requests_submitted == 0
+    assert devices.audio.bytes_written == 0

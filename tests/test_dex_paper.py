@@ -1,0 +1,84 @@
+"""Dex mappings and the paper-reference module."""
+
+import pytest
+
+from repro.analysis.paper import (
+    PAPER_FIG1_REGIONS,
+    PAPER_TABLE1,
+    compare_table1,
+    legend_overlap,
+)
+from repro.analysis.tables import Table1, ThreadRow
+from repro.dalvik.dex import (
+    BOOT_CLASSPATH,
+    CORE_DEX,
+    FRAMEWORK_DEX,
+    DexFile,
+    app_dex,
+    map_dex,
+)
+
+
+# ---------------------------------------------------------------------------
+# dex
+
+def test_boot_classpath_is_gingerbread_like():
+    names = [d.name for d in BOOT_CLASSPATH]
+    assert "core.dex" in names
+    assert "framework.dex" in names
+    assert "android.policy.dex" in names
+    assert len(names) == len(set(names))
+
+
+def test_dex_sizes():
+    assert CORE_DEX.size_bytes == CORE_DEX.size_kb * 1024
+    assert FRAMEWORK_DEX.size_kb > CORE_DEX.size_kb / 2
+
+
+def test_app_dex_naming():
+    dex = app_dex("com.example.app", 700)
+    assert dex.name == "com.example.app@classes.dex"
+    assert dex.size_kb == 700
+
+
+def test_map_dex_idempotent(system):
+    proc = system.kernel.spawn_process("dalvikish")
+    a = map_dex(proc, CORE_DEX)
+    b = map_dex(proc, CORE_DEX)
+    assert a is b
+    assert a.label == "core.dex"
+    assert not a.perms.write
+
+
+def test_map_dex_distinct_regions(system):
+    proc = system.kernel.spawn_process("dalvikish")
+    for dex in BOOT_CLASSPATH:
+        map_dex(proc, dex)
+    labels = proc.mm.labels()
+    for dex in BOOT_CLASSPATH:
+        assert dex.name in labels
+
+
+# ---------------------------------------------------------------------------
+# paper reference data
+
+def test_paper_table1_values():
+    assert PAPER_TABLE1["SurfaceFlinger"] == 43.4
+    assert sum(PAPER_TABLE1.values()) == pytest.approx(77.3)
+
+
+def test_legend_overlap_bounds():
+    assert legend_overlap(list(PAPER_FIG1_REGIONS), PAPER_FIG1_REGIONS) == 1.0
+    assert legend_overlap([], PAPER_FIG1_REGIONS) == 0.0
+    assert 0.0 < legend_overlap(["mspace"], PAPER_FIG1_REGIONS) < 1.0
+
+
+def test_compare_table1_renders_all_families():
+    table = Table1(
+        rows=[ThreadRow("SurfaceFlinger", 40.0, 400)],
+        total_refs=1_000,
+    )
+    text = compare_table1(table)
+    for family in PAPER_TABLE1:
+        assert family in text
+    assert "43.4" in text and "40.0" in text

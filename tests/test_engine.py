@@ -1,0 +1,146 @@
+"""Engine semantics: execution, blocking, sleeping, idle accounting."""
+
+from repro.kernel.syscalls import kernel_exec
+from repro.sim.ops import Block, ExecBlock, Sleep, SleepUntil, YIELD
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+
+def test_execblock_advances_clock(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+
+    def worker(task):
+        yield ExecBlock(0xC010_0000, 1_000)
+
+    sys_.kernel.spawn_process("w", behavior=worker)
+    sys_.run_for(millis(1))
+    assert sys_.cpu.insts_retired >= 1_000
+
+
+def test_sleep_wakes_at_deadline(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    seen = []
+
+    def worker(task):
+        yield Sleep(millis(5))
+        seen.append(sys_.clock.now)
+
+    sys_.kernel.spawn_process("w", behavior=worker)
+    sys_.run_for(millis(10))
+    assert seen and seen[0] >= millis(5)
+
+
+def test_sleep_until_past_is_noop(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    steps = []
+
+    def worker(task):
+        yield SleepUntil(0)  # already past
+        steps.append("ran")
+
+    sys_.kernel.spawn_process("w", behavior=worker)
+    sys_.run_for(millis(1))
+    assert steps == ["ran"]
+
+
+def test_block_and_wake(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    q = sys_.kernel.new_waitq("test")
+    order = []
+
+    def sleeper(task):
+        order.append("block")
+        yield Block(q)
+        order.append("woken")
+
+    def waker(task):
+        yield Sleep(millis(2))
+        q.wake_all()
+        order.append("woke-them")
+
+    sys_.kernel.spawn_process("sleeper", behavior=sleeper)
+    sys_.kernel.spawn_process("waker", behavior=waker)
+    sys_.run_for(millis(5))
+    assert order == ["block", "woke-them", "woken"]
+
+
+def test_yield_keeps_task_runnable(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    counts = {"a": 0, "b": 0}
+
+    def spin(name):
+        def behavior(task):
+            for _ in range(5):
+                counts[name] += 1
+                yield YIELD
+        return behavior
+
+    sys_.kernel.spawn_process("a", behavior=spin("a"))
+    sys_.kernel.spawn_process("b", behavior=spin("b"))
+    sys_.run_for(millis(1))
+    assert counts == {"a": 5, "b": 5}
+
+
+def test_idle_charges_swapper(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    sys_.run_for(seconds(1))
+    assert sys_.engine.idle_ticks > 0
+    assert sys_.profiler.instr_by_proc.get("swapper", 0) > 0
+
+
+def test_exhausted_behavior_reaps_task(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+
+    def ends(task):
+        yield ExecBlock(0xC010_0000, 10)
+
+    proc = sys_.kernel.spawn_process("short", behavior=ends)
+    sys_.run_for(millis(1))
+    assert not proc.alive
+    assert proc.main_task.state.value == "zombie"
+
+
+def test_run_until_is_idempotent_past_deadline(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+    sys_.run_until(millis(2))
+    t = sys_.clock.now
+    sys_.run_until(millis(1))
+    assert sys_.clock.now == t
+
+
+def test_deterministic_execution():
+    def build():
+        sys_ = System(seed=5)
+        sys_.boot_kernel()
+
+        def worker(task):
+            for i in range(50):
+                yield ExecBlock(0xC010_0000, 1_000, ((0xC800_0000, 50),))
+                yield Sleep(millis(1))
+
+        sys_.kernel.spawn_process("w", behavior=worker)
+        sys_.run_for(millis(120))
+        return dict(sys_.profiler.refs_by_thread)
+
+    assert build() == build()
+
+
+def test_kernel_exec_attributed_to_kernel_region(cold_system):
+    sys_ = cold_system
+    sys_.boot_kernel()
+
+    def worker(task):
+        yield kernel_exec("test_entry", 5_000, 100)
+
+    sys_.kernel.spawn_process("w", behavior=worker)
+    sys_.run_for(millis(1))
+    assert sys_.profiler.instr_by_region.get("OS kernel", 0) >= 5_000
+    assert sys_.profiler.data_by_region.get("OS kernel", 0) >= 100

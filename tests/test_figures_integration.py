@@ -1,0 +1,109 @@
+"""Figures and Table I built from real suite runs."""
+
+import pytest
+
+from repro.analysis import (
+    evaluate_claims,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1,
+)
+from repro.analysis.render import (
+    render_breakdown_csv,
+    render_breakdown_table,
+    render_claims,
+    render_stacked_ascii,
+    render_table1,
+)
+
+
+def test_all_figures_build_and_sum(full_suite):
+    for builder in (figure1, figure2, figure3, figure4):
+        fig = builder(full_suite)
+        fig.check_sums()
+        assert len(fig.benchmarks) == 25
+
+
+def test_figure_order_matches_paper(full_suite):
+    fig = figure1(full_suite)
+    assert fig.benchmarks[0] == "aard.main"
+    assert fig.benchmarks[-1] == "999.specrand"
+    assert fig.benchmarks.index("gallery.mp4.view") < fig.benchmarks.index(
+        "401.bzip2"
+    )
+
+
+def test_figure1_top_regions_match_paper_families(full_suite):
+    fig = figure1(full_suite)
+    for expected in ("mspace", "libdvm.so", "OS kernel"):
+        assert expected in fig.categories, fig.categories
+
+
+def test_figure2_top_regions_match_paper_families(full_suite):
+    fig = figure2(full_suite)
+    for expected in ("anonymous", "heap", "stack", "dalvik-heap"):
+        assert expected in fig.categories, fig.categories
+
+
+def test_figure3_has_benchmark_and_services(full_suite):
+    fig = figure3(full_suite)
+    assert "benchmark" in fig.categories
+    assert "system_server" in fig.categories
+    assert "mediaserver" in fig.categories
+
+
+def test_figure3_spec_bars_nearly_all_benchmark(full_suite):
+    fig = figure3(full_suite)
+    col = fig.column("462.libquantum")
+    assert col["benchmark"] > 90.0
+
+
+def test_figure4_gallery_mediaserver_dominates(full_suite):
+    fig = figure4(full_suite)
+    col = fig.column("gallery.mp4.view")
+    assert col.get("mediaserver", 0.0) > 50.0
+
+
+def test_table1_surfaceflinger_on_top(full_suite):
+    table = table1(full_suite)
+    assert table.rows[0].thread == "SurfaceFlinger"
+    assert 25.0 < table.rows[0].percent < 60.0
+
+
+def test_table1_contains_paper_thread_families(full_suite):
+    table = table1(full_suite)
+    named = {row.thread for row in table.rows[:14]}
+    for family in ("Thread", "AsyncTask", "Compiler", "AudioTrackThread", "GC"):
+        assert family in named, f"{family} missing from {sorted(named)}"
+
+
+def test_claims_all_pass_on_full_suite(full_suite):
+    claims = evaluate_claims(full_suite)
+    failing = [c.claim_id for c in claims if not c.holds]
+    # Short test windows distort a few time-dependent shares; the core
+    # structural claims must always hold.
+    structural = {
+        "processes-min", "processes-max",
+        "per-app-code-regions-min", "per-app-code-regions-max",
+        "spec-instr-concentration", "spec-few-regions",
+        "gallery-mediaserver-instr", "gallery-mediaserver-data",
+        "surfaceflinger-share",
+    }
+    assert not (structural & set(failing)), failing
+
+
+def test_renderers_produce_text(full_suite):
+    fig = figure1(full_suite)
+    table = render_breakdown_table(fig)
+    assert "aard.main" in table and "%" not in table.splitlines()[0]
+    csv = render_breakdown_csv(fig)
+    assert csv.startswith("benchmark,category,percent")
+    assert len(csv.splitlines()) == 1 + 25 * (len(fig.categories) + 1)
+    ascii_art = render_stacked_ascii(fig)
+    assert "|" in ascii_art
+    t1 = render_table1(table1(full_suite))
+    assert "SurfaceFlinger" in t1
+    claims_text = render_claims(evaluate_claims(full_suite))
+    assert "claims hold" in claims_text

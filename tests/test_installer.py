@@ -1,0 +1,88 @@
+"""The install pipeline: PMS -> defcontainer -> dexopt."""
+
+import pytest
+
+from repro.android.binder import transact
+from repro.android.boot import boot_android
+from repro.android.installer import InstallRequest
+from repro.libs.registry import resolve
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+
+@pytest.fixture
+def stack():
+    system = System(seed=55)
+    st = boot_android(system)
+    system.run_for(millis(500))
+    system.profiler.reset()
+    return system, st
+
+
+def run_install(system, st, package="com.example.new", dex_kb=600):
+    apk = system.fs.create(f"{package}.apk", 2 << 20)
+    client = system.kernel.spawn_process("installclient")
+    system.kernel.loader.map_many(
+        client, resolve(("linker", "libc.so", "libbinder.so", "libutils.so"))
+    )
+    box = {}
+
+    def main(task):
+        ref = st.registry.lookup("package")
+        txn = yield from transact(
+            system.kernel, client, ref, "install",
+            payload_words=200,
+            args={"request": InstallRequest(package, apk, dex_kb)},
+        )
+        box["reply"] = txn.reply
+
+    system.kernel.set_main_behavior(client, main)
+    system.run_for(seconds(3))
+    return box
+
+
+def test_install_completes(stack):
+    system, st = stack
+    box = run_install(system, st)
+    assert box["reply"]["installed"] == "com.example.new"
+    assert st.installer.installs_completed == 1
+
+
+def test_install_spawns_defcontainer_and_dexopt(stack):
+    system, st = stack
+    run_install(system, st)
+    assert system.profiler.instr_by_proc.get("id.defcontainer", 0) > 0
+    assert system.profiler.instr_by_proc.get("dexopt", 0) > 0
+
+
+def test_dexopt_reads_the_dex_mapping(stack):
+    system, st = stack
+    run_install(system, st, package="com.example.dexy", dex_kb=900)
+    assert system.profiler.data_by_region.get(
+        "com.example.dexy@classes.dex", 0
+    ) > 0
+
+
+def test_transient_processes_exit(stack):
+    system, st = stack
+    run_install(system, st)
+    system.run_for(millis(500))
+    comms = {p.comm for p in system.kernel.live_processes()}
+    assert "dexopt" not in comms
+    assert "id.defcontainer" not in comms
+
+
+def test_dexopt_cost_scales_with_dex_size(stack):
+    system, st = stack
+    run_install(system, st, package="com.small", dex_kb=200)
+    small = system.profiler.instr_by_proc.get("dexopt", 0)
+    system.profiler.reset()
+    run_install(system, st, package="com.large", dex_kb=2_000)
+    large = system.profiler.instr_by_proc.get("dexopt", 0)
+    assert large > small * 3
+
+
+def test_odex_written(stack):
+    system, st = stack
+    run_install(system, st, package="com.odexed")
+    assert "com.odexed@classes.odex" in system.fs.files

@@ -1,0 +1,146 @@
+"""Shared objects, loader, library registry, bionic allocator."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.kernel.layout import MMAP_THRESHOLD
+from repro.libs import bionic
+from repro.libs.object import SharedObject
+from repro.libs.registry import (
+    DALVIK_RUNTIME_LIBS,
+    catalog_names,
+    framework_veneer,
+    lib_spec,
+    mapped_object,
+    resolve,
+    run_ctors,
+    shared_object,
+)
+from repro.sim.ops import ExecBlock
+
+
+def test_shared_object_symbol_layout():
+    so = SharedObject("libx.so", 65536, 4096, (("a", 10), ("b", 20)))
+    a, b = so.symbol("a"), so.symbol("b")
+    assert 0 < a.offset < b.offset < so.text_size
+
+
+def test_shared_object_unknown_symbol():
+    so = SharedObject("libx.so", 4096, 4096)
+    with pytest.raises(LoaderError):
+        so.symbol("nope")
+
+
+def test_map_shared_object_idempotent(system):
+    proc = system.kernel.spawn_process("p")
+    so = shared_object("libc.so")
+    m1 = system.kernel.loader.map_shared_object(proc, so)
+    m2 = system.kernel.loader.map_shared_object(proc, so)
+    assert m1 is m2
+
+
+def test_mapped_call_addresses_inside_text(system):
+    proc = system.kernel.spawn_process("p")
+    mapped = system.kernel.loader.map_shared_object(proc, shared_object("libc.so"))
+    block = mapped.call("memcpy", insts=100)
+    assert mapped.text_vma.contains(block.code_addr)
+    assert block.insts == 100
+
+
+def test_map_binary_at_text_base(system):
+    proc = system.kernel.spawn_process("p")
+    binary = SharedObject("prog", 8192, 4096, (("main", 100),), label="app binary")
+    mapped = system.kernel.loader.map_binary(proc, binary)
+    assert mapped.text_vma.start == 0x8000
+    assert mapped.text_vma.label == "app binary"
+    assert proc.mm._brk_base >= mapped.data_vma.end
+
+
+def test_map_binary_twice_rejected(system):
+    proc = system.kernel.spawn_process("p")
+    binary = SharedObject("prog", 8192, 4096, label="app binary")
+    system.kernel.loader.map_binary(proc, binary)
+    with pytest.raises(LoaderError):
+        system.kernel.loader.map_binary(proc, binary)
+
+
+def test_catalog_contains_paper_libraries():
+    names = catalog_names()
+    for required in (
+        "libdvm.so",
+        "libskia.so",
+        "libstagefright.so",
+        "libc.so",
+        "libcr3engine-3-1-1.so",
+    ):
+        assert required in names
+
+
+def test_lib_spec_unknown_raises():
+    with pytest.raises(LoaderError):
+        lib_spec("libnothing.so")
+
+
+def test_resolve_deduplicates():
+    objs = resolve(["libc.so", "libm.so", "libc.so"])
+    assert [o.name for o in objs] == ["libc.so", "libm.so"]
+
+
+def test_run_ctors_touches_each_library(system):
+    proc = system.kernel.spawn_process("p")
+    system.kernel.loader.map_many(proc, resolve(DALVIK_RUNTIME_LIBS))
+    ops = list(run_ctors(proc, DALVIK_RUNTIME_LIBS))
+    assert ops
+    code_labels = {proc.mm.find_vma(op.code_addr).label for op in ops}
+    # Every mapped runtime library's text gets executed at least once.
+    assert set(DALVIK_RUNTIME_LIBS) <= code_labels
+
+
+def test_framework_veneer_rotates_through_libmap(system):
+    proc = system.kernel.spawn_process("p")
+    system.kernel.loader.map_many(proc, resolve(DALVIK_RUNTIME_LIBS))
+    seen = set()
+    for _ in range(6):
+        for op in framework_veneer(proc, nlibs=4):
+            seen.add(proc.mm.find_vma(op.code_addr).label)
+    assert set(DALVIK_RUNTIME_LIBS) <= seen
+
+
+def test_mapped_object_accessor_raises_when_missing(system):
+    proc = system.kernel.spawn_process("p")
+    with pytest.raises(LoaderError):
+        mapped_object(proc, "libskia.so")
+
+
+# ---------------------------------------------------------------------------
+# bionic allocator placement
+
+def test_small_alloc_goes_to_brk_heap(system):
+    proc = system.kernel.spawn_process("p")
+    binary = SharedObject("prog", 8192, 4096, label="app binary")
+    system.kernel.loader.map_binary(proc, binary)
+    addr = bionic.alloc_buffer(proc, MMAP_THRESHOLD - 1)
+    assert proc.mm.find_vma(addr).label == "heap"
+
+
+def test_large_alloc_goes_to_anonymous(system):
+    proc = system.kernel.spawn_process("p")
+    addr = bionic.alloc_buffer(proc, MMAP_THRESHOLD)
+    assert proc.mm.find_vma(addr).label == "anonymous"
+
+
+def test_memcpy_references_both_buffers(system):
+    proc = system.kernel.spawn_process("p")
+    system.kernel.loader.map_shared_object(proc, shared_object("libc.so"))
+    src = bionic.alloc_buffer(proc, 256 * 1024)
+    dst = bionic.alloc_buffer(proc, 256 * 1024)
+    block = bionic.memcpy(proc, dst, src, 64 * 1024)
+    addrs = {addr for addr, _ in block.data}
+    assert {src, dst} <= addrs
+
+
+def test_malloc_cost_is_execblock(system):
+    proc = system.kernel.spawn_process("p")
+    system.kernel.loader.map_shared_object(proc, shared_object("libc.so"))
+    addr = bionic.alloc_buffer(proc, 1 << 20)
+    assert isinstance(bionic.malloc_cost(proc, addr, 1 << 20), ExecBlock)

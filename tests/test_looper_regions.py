@@ -1,0 +1,134 @@
+"""Looper message queues and the special-region helpers."""
+
+import pytest
+
+from repro.android.looper import Looper
+from repro.errors import AddressSpaceError
+from repro.libs import regions
+from repro.libs.registry import resolve
+from repro.sim.ops import Sleep
+from repro.sim.ticks import millis
+
+
+# ---------------------------------------------------------------------------
+# Looper
+
+def make_looper(system):
+    proc = system.kernel.spawn_process("loopy")
+    system.kernel.loader.map_many(
+        proc, resolve(("linker", "libc.so", "libutils.so"))
+    )
+    looper = Looper(system.kernel, proc, "main")
+    system.kernel.set_main_behavior(proc, looper.behavior)
+    return proc, looper
+
+
+def test_looper_runs_posted_messages_in_order(system):
+    proc, looper = make_looper(system)
+    order = []
+
+    def msg(tag):
+        def handler(task):
+            order.append(tag)
+            yield Sleep(millis(1))
+        return handler
+
+    looper.post(msg("a"))
+    looper.post(msg("b"))
+    looper.post(msg("c"))
+    system.run_for(millis(50))
+    assert order == ["a", "b", "c"]
+    assert looper.messages_handled == 3
+
+
+def test_looper_parks_when_empty(system):
+    proc, looper = make_looper(system)
+    system.run_for(millis(10))
+    assert looper.messages_handled == 0
+    # Waking it later still works.
+    hits = []
+
+    def handler(task):
+        hits.append(1)
+        yield Sleep(millis(1))
+
+    looper.post(handler)
+    system.run_for(millis(20))
+    assert hits == [1]
+
+
+def test_looper_messages_can_post_messages(system):
+    proc, looper = make_looper(system)
+    seen = []
+
+    def second(task):
+        seen.append("second")
+        yield Sleep(millis(1))
+
+    def first(task):
+        seen.append("first")
+        looper.post(second)
+        yield Sleep(millis(1))
+
+    looper.post(first)
+    system.run_for(millis(50))
+    assert seen == ["first", "second"]
+
+
+# ---------------------------------------------------------------------------
+# Special regions
+
+def test_mspace_created_once(system):
+    proc = system.kernel.spawn_process("gfx")
+    a = regions.ensure_mspace(proc)
+    b = regions.ensure_mspace(proc)
+    assert a is b
+    assert a.label == "mspace"
+    assert a.perms.execute  # blitter code lives here
+
+
+def test_mspace_code_and_buffer_addresses_distinct(system):
+    proc = system.kernel.spawn_process("gfx")
+    code = regions.mspace_code_addr(proc)
+    buf = regions.mspace_buffer_addr(proc)
+    assert code != buf
+    vma = proc.mm.find_vma(code)
+    assert vma.contains(buf)
+
+
+def test_binder_mapping_readonly(system):
+    proc = system.kernel.spawn_process("ipc")
+    vma = regions.ensure_binder_mapping(proc)
+    assert vma.label == "binder-mapping"
+    assert not vma.perms.write
+
+
+def test_property_space_shared(system):
+    proc = system.kernel.spawn_process("props")
+    vma = regions.ensure_property_space(proc)
+    assert vma.shared
+    assert vma.label == "property-space"
+
+
+def test_ashmem_regions_tagged(system):
+    proc = system.kernel.spawn_process("ash")
+    vma = regions.ashmem_region(proc, "cursor:contacts", 64 * 1024)
+    assert vma.label == "ashmem"
+    assert vma.tag == "cursor:contacts"
+
+
+def test_map_asset_idempotent(system):
+    proc = system.kernel.spawn_process("assets")
+    a = regions.map_asset(proc, "thing.ttf", 64 * 1024)
+    b = regions.map_asset(proc, "thing.ttf", 64 * 1024)
+    assert a is b
+    assert regions.asset_addr(proc, "thing.ttf") != 0
+    assert regions.asset_addr(proc, "missing.ttf") == 0
+
+
+def test_asset_labels_are_distinct_regions(system):
+    proc = system.kernel.spawn_process("assets")
+    regions.map_asset(proc, "a.ttf", 4096)
+    regions.map_asset(proc, "b.ttf", 4096)
+    labels = proc.mm.labels()
+    assert "a.ttf" in labels and "b.ttf" in labels

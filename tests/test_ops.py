@@ -1,0 +1,44 @@
+"""Op primitives."""
+
+import pytest
+
+from repro.sim.ops import YIELD, Block, ExecBlock, Sleep, Yield, merge_data
+
+
+def test_execblock_data_refs_total():
+    block = ExecBlock(0x1000, 10, ((0x2000, 5), (0x3000, 7)))
+    assert block.data_refs == 12
+
+
+def test_execblock_rejects_negative_insts():
+    with pytest.raises(ValueError):
+        ExecBlock(0x1000, -1)
+
+
+def test_execblock_zero_insts_allowed():
+    assert ExecBlock(0x1000, 0).insts == 0
+
+
+def test_sleep_rejects_negative():
+    with pytest.raises(ValueError):
+        Sleep(-1)
+
+
+def test_yield_is_singleton():
+    assert Yield() is YIELD
+    assert Yield() is Yield()
+
+
+def test_merge_data_drops_zeroes():
+    merged = merge_data((0x1000, 5), (0x2000, 0), (0x3000, 1))
+    assert merged == ((0x1000, 5), (0x3000, 1))
+
+
+def test_merge_data_empty():
+    assert merge_data() == ()
+
+
+def test_execblock_is_immutable():
+    block = ExecBlock(0x1000, 1)
+    with pytest.raises(Exception):
+        block.insts = 5

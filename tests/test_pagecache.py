@@ -1,0 +1,107 @@
+"""Filesystem / page cache / storage interplay."""
+
+from repro.libs import bionic
+from repro.sim.ticks import millis, seconds
+
+
+def run_reader(system, fname, size, nbytes, warm=False):
+    f = system.fs.create(fname, size)
+    done = {}
+
+    def reader(task):
+        proc = task.process
+        buf = bionic.alloc_buffer(proc, 256 * 1024)
+        if warm:
+            yield from system.fs.read(task, f, nbytes, buf)  # populate
+            yield from system.fs.read_warm(task, f, nbytes, buf)
+        else:
+            yield from system.fs.read(task, f, nbytes, buf)
+        done["at"] = system.clock.now
+
+    system.kernel.spawn_process("reader", behavior=reader)
+    system.run_for(seconds(1))
+    return f, done
+
+
+def test_cold_read_goes_to_storage(system):
+    f, done = run_reader(system, "big.bin", 1 << 20, 1 << 20)
+    assert "at" in done
+    assert system.devices.storage.requests_submitted > 0
+    assert system.devices.storage.bytes_transferred >= 1 << 20
+
+
+def test_cold_read_wakes_ata_worker(system):
+    run_reader(system, "big.bin", 1 << 20, 1 << 20)
+    assert system.profiler.instr_by_proc.get("ata_sff/0", 0) > 0
+
+
+def test_warm_read_skips_storage(system):
+    f, _ = run_reader(system, "warm.bin", 256 * 1024, 256 * 1024, warm=True)
+    submitted = system.devices.storage.requests_submitted
+    # Re-reading warm data must not add device traffic.
+    done = {}
+
+    def reader2(task):
+        buf = bionic.alloc_buffer(task.process, 64 * 1024)
+        yield from system.fs.read_warm(task, f, 64 * 1024, buf)
+        done["ok"] = True
+
+    system.kernel.spawn_process("reader2", behavior=reader2)
+    system.run_for(millis(50))
+    assert done.get("ok")
+    assert system.devices.storage.requests_submitted == submitted
+
+
+def test_read_caches_highwater(system):
+    f, _ = run_reader(system, "cache.bin", 512 * 1024, 512 * 1024)
+    assert f.cached_bytes == f.size
+
+
+def test_partial_then_full_read_only_fetches_remainder(system):
+    f = system.fs.create("partial.bin", 512 * 1024)
+
+    def reader(task):
+        buf = bionic.alloc_buffer(task.process, 64 * 1024)
+        yield from system.fs.read(task, f, 128 * 1024, buf)
+        yield from system.fs.read(task, f, 512 * 1024, buf)
+
+    system.kernel.spawn_process("reader", behavior=reader)
+    system.run_for(seconds(1))
+    # Total device bytes equals the file size, not size + first chunk.
+    assert system.devices.storage.bytes_transferred == 512 * 1024
+
+
+def test_write_marks_cached(system):
+    f = system.fs.create("out.bin", 0)
+
+    def writer(task):
+        buf = bionic.alloc_buffer(task.process, 64 * 1024)
+        yield from system.fs.write(task, f, 64 * 1024, buf)
+
+    system.kernel.spawn_process("writer", behavior=writer)
+    system.run_for(millis(50))
+    assert f.size >= 64 * 1024
+
+
+def test_get_creates_default_file(system):
+    f = system.fs.get("implicit.bin")
+    assert f.size > 0
+    assert system.fs.get("implicit.bin") is f
+
+
+def test_reader_blocks_while_device_busy(system):
+    """The reading process must be suspended during device transfer."""
+    f = system.fs.create("slow.bin", 4 << 20)
+    timeline = []
+
+    def reader(task):
+        buf = bionic.alloc_buffer(task.process, 64 * 1024)
+        timeline.append(("start", system.clock.now))
+        yield from system.fs.read(task, f, 4 << 20, buf)
+        timeline.append(("end", system.clock.now))
+
+    system.kernel.spawn_process("reader", behavior=reader)
+    system.run_for(seconds(2))
+    start, end = timeline[0][1], timeline[1][1]
+    expected_device_time = system.devices.storage.transfer_ticks(4 << 20)
+    assert end - start >= expected_device_time // 2

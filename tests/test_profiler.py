@@ -1,0 +1,115 @@
+"""MemProfiler attribution."""
+
+import pytest
+
+from repro.kernel.addrspace import AddressSpace
+from repro.kernel.layout import KERNEL_BASE
+from repro.kernel.sched import Scheduler
+from repro.kernel.task import Process, Task
+from repro.sim.memprofiler import MemProfiler
+from repro.sim.ops import ExecBlock
+
+
+def make_user_task(label="libfoo.so"):
+    mm = AddressSpace("app")
+    vma = mm.mmap(8192, label)
+    data_vma = mm.mmap(8192, "heap-like")
+    proc = Process(10, "com.example.app", mm=mm)
+    sched = Scheduler()
+    task = Task(11, "worker", proc, None, sched)
+    proc.tasks.append(task)
+    return task, vma, data_vma
+
+
+def test_charges_code_and_data_to_labels():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 100, ((data.start, 40),)))
+    assert prof.instr_by_region["libfoo.so"] == 100
+    assert prof.data_by_region["heap-like"] == 40
+    assert prof.total_instr == 100
+    assert prof.total_data == 40
+
+
+def test_charges_process_comm_at_charge_time():
+    task, code, _ = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 10))
+    task.process.set_comm("renamed.app")
+    prof.charge(task, ExecBlock(code.start, 10))
+    assert prof.instr_by_proc["com.example.app"] == 10
+    assert prof.instr_by_proc["renamed.app"] == 10
+
+
+def test_kernel_addresses_fold_to_os_kernel():
+    task, code, _ = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(KERNEL_BASE + 64, 5, ((KERNEL_BASE + 128, 3),)))
+    assert prof.instr_by_region["OS kernel"] == 5
+    assert prof.data_by_region["OS kernel"] == 3
+
+
+def test_thread_axis_counts_instr_plus_data():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 100, ((data.start, 40),)))
+    assert prof.refs_by_thread[("com.example.app", "worker")] == 140
+
+
+def test_zero_count_data_ignored():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 1, ((data.start, 0),)))
+    assert "heap-like" not in prof.data_by_region
+
+
+def test_reset_zeroes_everything():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 100, ((data.start, 40),)))
+    prof.reset()
+    assert prof.total_refs == 0
+    assert not prof.instr_by_region
+    assert not prof.refs_by_thread
+
+
+def test_disabled_profiler_charges_nothing():
+    task, code, _ = make_user_task()
+    prof = MemProfiler()
+    prof.enabled = False
+    prof.charge(task, ExecBlock(code.start, 100))
+    assert prof.total_refs == 0
+
+
+def test_charge_idle():
+    prof = MemProfiler()
+    prof.charge_idle("swapper", "swapper", 500)
+    assert prof.instr_by_proc["swapper"] == 500
+    assert prof.instr_by_region["OS kernel"] == 500
+
+
+def test_region_counts():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 1, ((data.start, 1),)))
+    prof.charge(task, ExecBlock(KERNEL_BASE + 4, 1))
+    assert prof.instruction_region_count() == 2
+    assert prof.data_region_count() == 1
+
+
+def test_unmapped_address_raises():
+    task, code, _ = make_user_task()
+    prof = MemProfiler()
+    from repro.errors import SegmentationFault
+
+    with pytest.raises(SegmentationFault):
+        prof.charge(task, ExecBlock(0x0400_0000, 1))
+
+
+def test_snapshot_is_plain_dicts():
+    task, code, data = make_user_task()
+    prof = MemProfiler()
+    prof.charge(task, ExecBlock(code.start, 2, ((data.start, 2),)))
+    snap = prof.snapshot()
+    assert snap["instr_by_region"]["libfoo.so"] == 2
+    assert isinstance(snap["refs_by_thread"], dict)

@@ -1,0 +1,58 @@
+"""RunResult / SuiteResult serialisation and determinism."""
+
+import pytest
+
+from repro.core import QUICK_CONFIG, RunConfig, SuiteRunner
+from repro.core.results import RunResult, SuiteResult
+from repro.errors import AnalysisError
+from repro.sim.ticks import millis
+
+
+def test_json_roundtrip(quick_suite):
+    run = quick_suite.get("countdown.main")
+    clone = RunResult.from_json_dict(run.to_json_dict())
+    assert clone.instr_by_region == run.instr_by_region
+    assert clone.refs_by_thread == run.refs_by_thread
+    assert clone.bench_id == run.bench_id
+    assert clone.meta == run.meta
+
+
+def test_suite_save_load(tmp_path, quick_suite):
+    path = str(tmp_path / "suite.json")
+    quick_suite.save(path)
+    loaded = SuiteResult.load(path)
+    assert set(loaded.ids()) == set(quick_suite.ids())
+    for bid in quick_suite.ids():
+        assert loaded.get(bid).total_refs == quick_suite.get(bid).total_refs
+
+
+def test_subset_errors_on_missing(quick_suite):
+    with pytest.raises(AnalysisError):
+        quick_suite.subset(["not.a.benchmark"])
+
+
+def test_same_seed_same_result():
+    config = RunConfig(duration_ticks=millis(500), settle_ticks=millis(200), seed=5)
+    runner = SuiteRunner(config)
+    a = runner.run("countdown.main")
+    b = runner.run("countdown.main")
+    assert a.instr_by_region == b.instr_by_region
+    assert a.refs_by_thread == b.refs_by_thread
+
+
+def test_different_seed_different_result():
+    runner = SuiteRunner()
+    a = runner.run("aard.main", RunConfig(duration_ticks=millis(500), seed=1))
+    b = runner.run("aard.main", RunConfig(duration_ticks=millis(500), seed=2))
+    assert a.instr_by_region != b.instr_by_region or a.refs_by_thread != b.refs_by_thread
+
+
+def test_run_config_scaled():
+    cfg = RunConfig(duration_ticks=1_000)
+    assert cfg.scaled(2.0).duration_ticks == 2_000
+    assert cfg.duration_ticks == 1_000  # frozen original
+
+
+def test_quick_config_sane():
+    assert QUICK_CONFIG.duration_ticks > 0
+    assert QUICK_CONFIG.settle_ticks > 0

@@ -1,0 +1,119 @@
+"""Scheduler and timer queue."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.kernel.sched import Scheduler, TimerQueue
+from repro.kernel.task import Process, Task, TaskState
+
+
+def make_task(sched, name="t"):
+    proc = Process(1, name, mm=None)
+    task = Task(1, name, proc, behavior=None, sched=sched)
+    proc.tasks.append(task)
+    return task
+
+
+def test_round_robin_order():
+    sched = Scheduler()
+    a, b = make_task(sched, "a"), make_task(sched, "b")
+    for t in (a, b):
+        t.state = TaskState.RUNNABLE
+        sched.enqueue(t)
+    assert sched.pick() is a
+    sched.requeue(a)
+    assert sched.pick() is b
+
+
+def test_pick_skips_dead_entries():
+    sched = Scheduler()
+    a = make_task(sched, "a")
+    a.state = TaskState.RUNNABLE
+    sched.enqueue(a)
+    a.state = TaskState.ZOMBIE
+    assert sched.pick() is None
+
+
+def test_enqueue_requires_runnable():
+    sched = Scheduler()
+    a = make_task(sched)
+    a.state = TaskState.SLEEPING
+    with pytest.raises(SchedulerError):
+        sched.enqueue(a)
+
+
+def test_pick_marks_running_and_counts_switches():
+    sched = Scheduler()
+    a = make_task(sched)
+    a.state = TaskState.RUNNABLE
+    sched.enqueue(a)
+    assert sched.pick() is a
+    assert a.state is TaskState.RUNNING
+    assert sched.context_switches == 1
+
+
+def test_remove_tolerates_absent_task():
+    sched = Scheduler()
+    a = make_task(sched)
+    sched.remove(a)  # no exception
+
+
+# ---------------------------------------------------------------------------
+# TimerQueue
+
+def sleeping(sched, name="s"):
+    t = make_task(sched, name)
+    t.state = TaskState.SLEEPING
+    return t
+
+
+def test_timer_fires_due_in_order():
+    sched = Scheduler()
+    timers = TimerQueue()
+    a, b = sleeping(sched, "a"), sleeping(sched, "b")
+    timers.add(200, b)
+    timers.add(100, a)
+    woken = timers.fire_due(150)
+    assert woken == [a]
+    assert a.state is TaskState.RUNNABLE
+    assert b.state is TaskState.SLEEPING
+
+
+def test_timer_next_deadline():
+    sched = Scheduler()
+    timers = TimerQueue()
+    assert timers.next_deadline() is None
+    timers.add(500, sleeping(sched))
+    assert timers.next_deadline() == 500
+
+
+def test_stale_entry_does_not_spuriously_wake():
+    """A task woken early then re-slept must not fire on the old entry."""
+    sched = Scheduler()
+    timers = TimerQueue()
+    t = sleeping(sched)
+    timers.add(100, t)
+    # Early wake through another path, then sleep again until 300.
+    t.make_runnable()
+    t.state = TaskState.SLEEPING
+    timers.add(300, t)
+    assert timers.fire_due(150) == []
+    assert t.state is TaskState.SLEEPING
+    assert timers.fire_due(300) == [t]
+
+
+def test_next_deadline_prunes_stale():
+    sched = Scheduler()
+    timers = TimerQueue()
+    t = sleeping(sched)
+    timers.add(100, t)
+    t.make_runnable()
+    assert timers.next_deadline() is None
+
+
+def test_fire_due_ignores_future():
+    sched = Scheduler()
+    timers = TimerQueue()
+    timers.add(1_000, sleeping(sched))
+    assert timers.fire_due(999) == []
+    assert len(timers) == 1

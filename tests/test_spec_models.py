@@ -1,0 +1,58 @@
+"""SPEC models running on the simulated system."""
+
+import pytest
+
+from repro.core.suite import SPEC_IDS
+
+
+def test_spec_instruction_concentration(quick_suite):
+    for bench_id in ("401.bzip2", "462.libquantum", "999.specrand"):
+        run = quick_suite.get(bench_id)
+        share = run.region_share("app binary") + run.region_share("OS kernel")
+        assert share > 0.9, bench_id
+
+
+def test_spec_process_dominates(quick_suite):
+    for bench_id in ("401.bzip2", "462.libquantum"):
+        run = quick_suite.get(bench_id)
+        assert run.benchmark_share_instr() > 0.9, bench_id
+
+
+def test_spec_data_in_classic_regions(quick_suite):
+    run = quick_suite.get("401.bzip2")
+    classic = (
+        run.region_share("heap", instr=False)
+        + run.region_share("anonymous", instr=False)
+        + run.region_share("stack", instr=False)
+        + run.region_share("OS kernel", instr=False)
+    )
+    assert classic > 0.8
+
+
+def test_bzip2_reads_input_through_storage(quick_suite):
+    run = quick_suite.get("401.bzip2")
+    assert run.instr_by_proc.get("ata_sff/0", 0) > 0
+
+
+def test_libquantum_is_anonymous_heavy(quick_suite):
+    run = quick_suite.get("462.libquantum")
+    assert run.region_share("anonymous", instr=False) > 0.6
+
+
+def test_specrand_flattest_data_profile(quick_suite):
+    rand = quick_suite.get("999.specrand")
+    bzip = quick_suite.get("401.bzip2")
+    assert rand.total_data / rand.total_instr < bzip.total_data / bzip.total_instr
+
+
+def test_spec_runs_far_fewer_regions_than_agave(quick_suite):
+    spec_eff = quick_suite.get("401.bzip2").effective_region_count(0.99)
+    agave_eff = quick_suite.get("doom.main").effective_region_count(0.99)
+    assert spec_eff < agave_eff
+
+
+def test_all_spec_ids_resolvable(full_suite):
+    for bench_id in SPEC_IDS:
+        run = full_suite.get(bench_id)
+        assert run.total_refs > 0
+        assert run.meta["profile_insts"] > 0

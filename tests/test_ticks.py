@@ -1,0 +1,57 @@
+"""Clock and tick conversions."""
+
+import pytest
+
+from repro.sim.ticks import (
+    Clock,
+    TICKS_PER_SECOND,
+    insts_to_ticks,
+    micros,
+    millis,
+    seconds,
+    to_seconds,
+)
+
+
+def test_one_second_is_a_billion_ticks():
+    assert seconds(1) == 1_000_000_000
+    assert seconds(1) == TICKS_PER_SECOND
+
+
+def test_unit_conversions_compose():
+    assert millis(1_000) == seconds(1)
+    assert micros(1_000) == millis(1)
+
+
+def test_fractional_seconds():
+    assert seconds(0.5) == 500_000_000
+
+
+def test_to_seconds_roundtrip():
+    assert to_seconds(seconds(3.25)) == pytest.approx(3.25)
+
+
+def test_insts_to_ticks_is_one_to_one_at_1ghz():
+    assert insts_to_ticks(12_345) == 12_345
+
+
+def test_clock_advances():
+    clock = Clock()
+    assert clock.now == 0
+    clock.advance(10)
+    clock.advance(5)
+    assert clock.now == 15
+
+
+def test_clock_advance_to_never_goes_backwards():
+    clock = Clock(start=100)
+    clock.advance_to(50)
+    assert clock.now == 100
+    clock.advance_to(150)
+    assert clock.now == 150
+
+
+def test_clock_rejects_negative_delta():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)

@@ -1,0 +1,100 @@
+"""VMA objects and region labels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.layout import PAGE_SIZE, truncate_comm
+from repro.kernel.vma import (
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    PERM_RX,
+    VMA,
+    Permissions,
+    VMAKind,
+)
+
+
+def make(start=0x1000, end=0x3000, label="x", kind=VMAKind.ANON):
+    return VMA(start, end, label, kind)
+
+
+def test_size_and_contains():
+    vma = make()
+    assert vma.size == 0x2000
+    assert vma.contains(0x1000)
+    assert vma.contains(0x2FFF)
+    assert not vma.contains(0x3000)
+    assert not vma.contains(0x0FFF)
+
+
+def test_rejects_empty_range():
+    with pytest.raises(ValueError):
+        make(start=0x2000, end=0x2000)
+
+
+def test_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        make(start=0x3000, end=0x1000)
+
+
+def test_rejects_unaligned():
+    with pytest.raises(ValueError):
+        VMA(0x1001, 0x3000, "x", VMAKind.ANON)
+
+
+def test_overlaps():
+    vma = make()
+    assert vma.overlaps(0x0000, 0x1001)
+    assert vma.overlaps(0x2000, 0x2800)
+    assert not vma.overlaps(0x3000, 0x4000)
+    assert not vma.overlaps(0x0, 0x1000)
+
+
+def test_permission_strings():
+    assert str(PERM_R) == "r--"
+    assert str(PERM_RW) == "rw-"
+    assert str(PERM_RX) == "r-x"
+    assert str(PERM_RWX) == "rwx"
+    assert str(Permissions(read=False)) == "---"
+
+
+def test_describe_is_maps_like():
+    line = make(label="libdvm.so").describe()
+    assert "libdvm.so" in line
+    assert line.startswith("00001000-00003000")
+
+
+@given(
+    start_page=st.integers(min_value=1, max_value=1 << 18),
+    pages=st.integers(min_value=1, max_value=512),
+    probe=st.integers(min_value=0, max_value=(1 << 20) * PAGE_SIZE),
+)
+def test_contains_matches_range_arithmetic(start_page, pages, probe):
+    start = start_page * PAGE_SIZE
+    end = start + pages * PAGE_SIZE
+    vma = VMA(start, end, "p", VMAKind.ANON)
+    assert vma.contains(probe) == (start <= probe < end)
+
+
+# ---------------------------------------------------------------------------
+# comm truncation (Android /proc semantics)
+
+def test_truncate_comm_short_names_unchanged():
+    assert truncate_comm("zygote") == "zygote"
+
+
+def test_truncate_comm_keeps_tail():
+    assert truncate_comm("com.android.systemui") == "ndroid.systemui"
+    assert truncate_comm("com.android.launcher") == "ndroid.launcher"
+    assert truncate_comm("com.android.defcontainer") == "id.defcontainer"
+
+
+def test_truncate_comm_exactly_15():
+    assert truncate_comm("123456789012345") == "123456789012345"
+
+
+@given(st.text(min_size=0, max_size=64))
+def test_truncate_comm_never_exceeds_limit(name):
+    assert len(truncate_comm(name)) <= 15
