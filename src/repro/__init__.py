@@ -33,12 +33,20 @@ from repro.core import (
     FIGURE_ORDER,
     SPEC_IDS,
     BenchmarkSpec,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    ResultCache,
     RunConfig,
     RunResult,
+    SerialBackend,
+    ShardedBackend,
     SuiteResult,
     SuiteRunner,
     benchmarks,
+    execute_one,
     get_benchmark,
+    make_backend,
+    shard_ids,
 )
 
 __version__ = "1.0.0"
@@ -47,20 +55,28 @@ __all__ = [
     "AGAVE_IDS",
     "BenchmarkSpec",
     "Calibration",
+    "ExecutionBackend",
     "FIGURE_ORDER",
+    "ProcessPoolBackend",
+    "ResultCache",
     "RunConfig",
     "RunResult",
     "SPEC_IDS",
+    "SerialBackend",
+    "ShardedBackend",
     "SuiteResult",
     "SuiteRunner",
     "__version__",
     "benchmarks",
     "evaluate_claims",
+    "execute_one",
     "figure1",
     "figure2",
     "figure3",
     "figure4",
     "get_benchmark",
+    "make_backend",
+    "shard_ids",
     "table1",
     "use_calibration",
 ]

@@ -4,10 +4,16 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
 
     python -m repro list
     python -m repro run music.mp3.view --duration 4
-    python -m repro suite --out suite.json
+    python -m repro suite --out suite.json --jobs 4 --progress
+    python -m repro suite --shard 1/2 --cache .agave-cache --out shard1.json
     python -m repro figures --results suite.json --figure 1
     python -m repro table1 --results suite.json
-    python -m repro claims --results suite.json
+    python -m repro claims --cache .agave-cache
+
+Execution flags (``--jobs``, ``--backend``, ``--cache``, ``--progress``)
+apply wherever benchmarks may actually run: ``suite`` and any artifact
+command invoked without ``--results``.  ``--shard`` is ``suite``-only —
+figures/tables/claims over a partial suite would be silently wrong.
 """
 
 from __future__ import annotations
@@ -28,7 +34,17 @@ from repro.analysis.render import (
     render_stacked_ascii,
     render_table1,
 )
-from repro.core import RunConfig, SuiteResult, SuiteRunner, benchmarks
+from repro.core import (
+    BACKEND_NAMES,
+    ResultCache,
+    RunConfig,
+    RunResult,
+    SuiteResult,
+    SuiteRunner,
+    benchmarks,
+    make_backend,
+)
+from repro.errors import ReproError
 from repro.sim.ticks import millis, seconds
 
 
@@ -41,11 +57,56 @@ def _config(args: argparse.Namespace) -> RunConfig:
     )
 
 
+def _add_exec_flags(
+    parser: argparse.ArgumentParser, sharding: bool = False
+) -> None:
+    """Execution-backend knobs, shared by every command that may run.
+
+    ``--shard`` is only offered where a partial suite is meaningful
+    (``suite``, whose output files can be merged); artifact commands
+    would silently draw paper-level conclusions from a fraction of the
+    benchmarks.
+    """
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (N>1 implies --backend process)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        help="execution backend (default: serial, or "
+                             "process when --jobs > 1)")
+    if sharding:
+        parser.add_argument("--shard", metavar="K/N",
+                            help="run only the K-th of N deterministic shards")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a line as each benchmark completes")
+
+
+def _make_runner(args: argparse.Namespace) -> SuiteRunner:
+    return SuiteRunner(
+        _config(args),
+        backend=make_backend(args.backend, jobs=args.jobs,
+                             shard=getattr(args, "shard", None)),
+        cache=ResultCache(args.cache) if args.cache else None,
+    )
+
+
+def _progress_printer(args: argparse.Namespace):
+    if not args.progress:
+        return None
+
+    def emit(bench_id: str, elapsed: float, result: RunResult) -> None:
+        tag = "cached" if elapsed == 0.0 else f"{elapsed:6.2f}s"
+        print(f"  {bench_id:<22} {tag:>8} {result.total_refs:>15,} refs",
+              flush=True)
+
+    return emit
+
+
 def _load_or_run(args: argparse.Namespace) -> SuiteResult:
     if args.results:
         return SuiteResult.load(args.results)
-    runner = SuiteRunner(_config(args))
-    return runner.run_suite()
+    runner = _make_runner(args)
+    return runner.run_suite(progress=_progress_printer(args))
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -70,13 +131,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         total = sum(table.values())
         print(f"\ntop {axis}:")
         for key, value in sorted(table.items(), key=lambda kv: -kv[1])[:8]:
-            print(f"  {key:<30} {100 * value / total:6.1f}%")
+            share = 100 * value / total if total else 0.0
+            print(f"  {key:<30} {share:6.1f}%")
     return 0
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    runner = SuiteRunner(_config(args))
-    suite = runner.run_suite()
+    runner = _make_runner(args)
+    suite = runner.run_suite(
+        ids=args.bench or None, progress=_progress_printer(args)
+    )
     if args.out:
         suite.save(args.out)
         print(f"saved {len(suite.ids())} runs to {args.out}")
@@ -139,6 +203,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="run the whole suite")
     p_suite.add_argument("--out", help="save results JSON here")
+    p_suite.add_argument("--bench", action="append", metavar="ID",
+                         help="run only this benchmark (repeatable)")
+    _add_exec_flags(p_suite, sharding=True)
     p_suite.set_defaults(func=cmd_suite)
 
     for name, func, extra in (
@@ -149,6 +216,7 @@ def make_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--results", help="load a saved suite JSON "
                                          "instead of re-running")
+        _add_exec_flags(p)
         if extra:
             p.add_argument("--figure", type=int, choices=(1, 2, 3, 4))
             p.add_argument("--csv", action="store_true")
@@ -161,7 +229,11 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,7 +1,25 @@
-"""Suite core: benchmark registry, runner, results."""
+"""Suite core: benchmark registry, runner, execution backends, results."""
 
-from repro.core.results import RunResult, SuiteResult
-from repro.core.runner import QUICK_CONFIG, RunConfig, SuiteRunner
+from repro.core.backends import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    make_backend,
+    parse_shard,
+    shard_ids,
+)
+from repro.core.results import ResultCache, RunResult, SuiteResult
+from repro.core.runner import (
+    QUICK_CONFIG,
+    RunConfig,
+    SuiteRunner,
+    bench_seed,
+    dedup_ids,
+    execute_one,
+)
 from repro.core.spec import BenchmarkSpec, Category, Kind
 from repro.core.suite import (
     AGAVE_BENCHMARKS,
@@ -18,17 +36,30 @@ __all__ = [
     "AGAVE_BENCHMARKS",
     "AGAVE_IDS",
     "ALL_BENCHMARKS",
+    "BACKEND_NAMES",
+    "BackendError",
     "BenchmarkSpec",
     "Category",
+    "ExecutionBackend",
     "FIGURE_ORDER",
     "Kind",
+    "ProcessPoolBackend",
     "QUICK_CONFIG",
+    "ResultCache",
     "RunConfig",
     "RunResult",
     "SPEC_BENCHMARKS",
     "SPEC_IDS",
+    "SerialBackend",
+    "ShardedBackend",
     "SuiteResult",
     "SuiteRunner",
+    "bench_seed",
     "benchmarks",
+    "dedup_ids",
+    "execute_one",
     "get_benchmark",
+    "make_backend",
+    "parse_shard",
+    "shard_ids",
 ]

@@ -1,0 +1,67 @@
+"""Pluggable execution backends for the suite runner.
+
+The runner orchestrates *which* benchmarks to run (dedup, cache lookups,
+result assembly); a backend decides *how* the cache misses execute:
+
+- :class:`SerialBackend` — in-process, one at a time (default).
+- :class:`ProcessPoolBackend` — fan out across worker processes.
+- :class:`ShardedBackend` — deterministic K-of-N partition, wrapping
+  either of the above, for CI/fleet splits.
+
+``make_backend`` builds one from CLI-shaped arguments.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    ProgressCallback,
+)
+from repro.core.backends.process import ProcessPoolBackend
+from repro.core.backends.serial import SerialBackend
+from repro.core.backends.sharded import ShardedBackend, parse_shard, shard_ids
+
+#: CLI names of the selectable leaf backends.
+BACKEND_NAMES: tuple[str, ...] = (SerialBackend.name, ProcessPoolBackend.name)
+
+
+def make_backend(
+    name: str | None = None,
+    jobs: int = 1,
+    shard: "str | tuple[int, int] | None" = None,
+) -> ExecutionBackend:
+    """Build a backend from CLI-shaped knobs.
+
+    *name* of ``None`` picks serial unless ``jobs > 1``.  A *shard* spec
+    (``"K/N"`` or ``(k, n)``) wraps the leaf backend in a
+    :class:`ShardedBackend`.
+    """
+    if name is None:
+        name = ProcessPoolBackend.name if jobs > 1 else SerialBackend.name
+    if name == SerialBackend.name:
+        backend: ExecutionBackend = SerialBackend()
+    elif name == ProcessPoolBackend.name:
+        backend = ProcessPoolBackend(jobs=max(jobs, 1))
+    else:
+        raise BackendError(
+            f"unknown backend {name!r}; known: {', '.join(BACKEND_NAMES)}"
+        )
+    if shard is not None:
+        index, count = parse_shard(shard) if isinstance(shard, str) else shard
+        backend = ShardedBackend(index, count, inner=backend)
+    return backend
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ProgressCallback",
+    "SerialBackend",
+    "ShardedBackend",
+    "make_backend",
+    "parse_shard",
+    "shard_ids",
+]

@@ -1,0 +1,59 @@
+"""The execution-backend contract.
+
+A backend owns *how* a batch of benchmark runs is executed — serially in
+this process, fanned out across worker processes, or restricted to a
+deterministic shard of the batch.  It does not own *what* a run does:
+every backend funnels through the same picklable
+:func:`repro.core.runner.execute_one`, so results are byte-identical
+regardless of backend or job count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult
+    from repro.core.runner import RunConfig
+
+#: Callback invoked as each run completes: (bench_id, elapsed_seconds, result).
+ProgressCallback = Callable[[str, float, "RunResult"], None]
+
+
+class BackendError(ReproError):
+    """A backend was misconfigured or failed to execute a batch."""
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Executes a batch of benchmark ids under one config.
+
+    ``plan`` declares ownership: the ordered subset of a batch this
+    backend is responsible for (sharded backends take their slice; most
+    backends own everything).  The orchestrator plans on the *full*
+    deduplicated batch — before cache filtering — so a shard partition
+    never shifts with cache contents; ``execute`` then runs exactly the
+    ids it is given.
+
+    Implementations must preserve input id order in the returned list
+    and must derive all run state from ``(bench_id, cfg)`` alone — no
+    process state may leak into results.
+    """
+
+    #: Short name used by the CLI (``--backend``) and the registry.
+    name: str
+
+    def plan(self, bench_ids: Sequence[str]) -> list[str]:
+        """The ordered subset of *bench_ids* this backend owns."""
+        ...
+
+    def execute(
+        self,
+        bench_ids: Sequence[str],
+        cfg: "RunConfig",
+        on_result: ProgressCallback | None = None,
+    ) -> "list[RunResult]":
+        """Run every id in *bench_ids* and return results in id order."""
+        ...

@@ -1,0 +1,50 @@
+"""In-process serial execution (the default backend)."""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.backends.base import ProgressCallback
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult
+    from repro.core.runner import RunConfig
+
+
+class SerialBackend:
+    """Runs every benchmark in this process, one after another.
+
+    Matches the pre-backend behaviour of ``SuiteRunner.run_suite`` and
+    serves as the reference implementation the parallel backends are
+    checked against.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        #: Bench ids actually simulated, in execution order (cache hits
+        #: never reach the backend, so tests use this to count real work).
+        self.executed: list[str] = []
+
+    def plan(self, bench_ids: Sequence[str]) -> list[str]:
+        return list(bench_ids)
+
+    def execute(
+        self,
+        bench_ids: Sequence[str],
+        cfg: "RunConfig",
+        on_result: ProgressCallback | None = None,
+    ) -> "list[RunResult]":
+        from repro.core.runner import execute_one
+
+        out: list[RunResult] = []
+        for bench_id in bench_ids:
+            started = time.perf_counter()
+            result = execute_one(bench_id, cfg)
+            elapsed = time.perf_counter() - started
+            self.executed.append(bench_id)
+            if on_result is not None:
+                on_result(bench_id, elapsed, result)
+            out.append(result)
+        return out

@@ -4,17 +4,24 @@ A :class:`RunResult` snapshots the profiler's counters plus process/thread
 census data; a :class:`SuiteResult` collects one per benchmark and feeds
 the analysis layer.  Both round-trip through JSON so results can be cached
 ("plug-and-play" artifacts, standing in for the paper's prepackaged VMs).
+:class:`ResultCache` makes that caching automatic: a content-addressed
+directory of completed runs keyed by (bench id, config, package version),
+so regenerating figures/tables/claims never re-simulates a run it has
+already seen.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import AnalysisError
 
 if TYPE_CHECKING:
+    from repro.core.runner import RunConfig
     from repro.sim.memprofiler import MemProfiler
 
 
@@ -243,3 +250,61 @@ class SuiteResult:
         for raw in payload.values():
             out.add(RunResult.from_json_dict(raw))
         return out
+
+
+class ResultCache:
+    """Content-addressed store of completed runs.
+
+    The key is a stable hash of (bench id, the config's JSON form, the
+    package version): any knob that can change a run's output — window,
+    settle, seed, JIT flag, calibration override — changes the key, and
+    bumping ``repro.__version__`` invalidates everything at once, since
+    a model change can shift results without any config change.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key(bench_id: str, cfg: "RunConfig") -> str:
+        """The content hash addressing one run."""
+        from repro import __version__
+
+        payload = json.dumps(
+            {"bench": bench_id, "config": cfg.to_json_dict(), "version": __version__},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, bench_id: str, cfg: "RunConfig") -> str:
+        return os.path.join(self.root, self.key(bench_id, cfg) + ".json")
+
+    # ------------------------------------------------------------------
+
+    def get(self, bench_id: str, cfg: "RunConfig") -> RunResult | None:
+        """The stored run for this key, or ``None`` on a miss."""
+        path = self._path(bench_id, cfg)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_json_dict(raw)
+
+    def put(self, bench_id: str, cfg: "RunConfig", result: RunResult) -> None:
+        """Store one completed run (atomically, for concurrent writers)."""
+        path = self._path(bench_id, cfg)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(result.to_json_dict(), fh)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))

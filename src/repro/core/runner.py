@@ -5,28 +5,43 @@ Methodology mirrors the paper: the stack boots and settles, the profiler
 resets, then the workload launches *inside* the window (so the launch-time
 ``app_process`` and install-time ``dexopt``/``id.defcontainer`` references
 are visible, as they are in Figures 3/4).
+
+Execution is split in two layers: :func:`execute_one` is a pure, picklable
+top-level function mapping ``(bench_id, config)`` to a :class:`RunResult`
+(every bit of run state — seed, JIT flag, calibration override — travels
+inside the config, so workers in other processes reproduce runs exactly),
+and :class:`SuiteRunner` orchestrates batches: dedup, cache lookups, and
+delegation to a pluggable :class:`~repro.core.backends.ExecutionBackend`.
 """
 
 from __future__ import annotations
 
+import warnings
 import zlib
-from dataclasses import dataclass, field, replace
-from typing import Iterable
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Iterable
 
 from repro.android.app import start_activity
 from repro.android.boot import boot_android
 from repro.calibration import Calibration, use_calibration
-from repro.core.results import RunResult, SuiteResult
+from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.core.spec import BenchmarkSpec
 from repro.core.suite import benchmarks, get_benchmark
 from repro.kernel.layout import truncate_comm
 from repro.sim.system import System
 from repro.sim.ticks import millis, seconds
 
+if TYPE_CHECKING:
+    from repro.core.backends import ExecutionBackend, ProgressCallback
+
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Knobs for one benchmark execution."""
+    """Knobs for one benchmark execution.
+
+    Fully serialisable (pickle for worker processes, JSON dict for cache
+    keys): a config plus a bench id determines a run completely.
+    """
 
     #: Measurement window length.
     duration_ticks: int = seconds(4)
@@ -43,87 +58,190 @@ class RunConfig:
         """A config with the window scaled by *factor*."""
         return replace(self, duration_ticks=int(self.duration_ticks * factor))
 
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation (stable key order via dataclass order;
+        ``asdict`` recurses into the nested calibration)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, raw: dict) -> "RunConfig":
+        """Inverse of :meth:`to_json_dict`."""
+        raw = dict(raw)
+        cal = raw.pop("calibration", None)
+        return cls(calibration=Calibration(**cal) if cal else None, **raw)
+
 
 #: A fast configuration for tests.
 QUICK_CONFIG = RunConfig(duration_ticks=seconds(1), settle_ticks=millis(200))
 
 
-class SuiteRunner:
-    """Runs benchmarks and collects results."""
+def bench_seed(bench_id: str, cfg: RunConfig) -> int:
+    """The per-benchmark RNG seed (base seed mixed with the id)."""
+    return (cfg.seed * 2_654_435_761 + zlib.crc32(bench_id.encode())) & 0x7FFF_FFFF
 
-    def __init__(self, config: RunConfig | None = None) -> None:
+
+def execute_one(bench_id: str, cfg: RunConfig) -> RunResult:
+    """Execute one benchmark on a fresh system.
+
+    Top-level and picklable so process-pool backends can ship it to
+    workers; the calibration override is installed here, inside whichever
+    process runs the benchmark, rather than inherited ambiently.
+    """
+    spec = get_benchmark(bench_id)
+    if cfg.calibration is not None:
+        with use_calibration(cfg.calibration):
+            return _run_spec(spec, cfg)
+    return _run_spec(spec, cfg)
+
+
+def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
+    seed = bench_seed(spec.bench_id, cfg)
+    system = System(seed=seed)
+    stack = boot_android(system, jit_enabled=cfg.jit_enabled)
+
+    if spec.is_android:
+        model = spec.factory(seed)
+        model.setup_files(system)
+        system.run_for(cfg.settle_ticks)
+        system.profiler.reset()
+        reaped_at_open = system.kernel.threads_reaped
+        record = start_activity(stack, model, background=spec.background)
+        system.run_for(cfg.duration_ticks)
+        comm = model.benchmark_comm
+        meta = {
+            "package": model.package,
+            "mode": "background" if spec.background else "foreground",
+            "launched": record.proc is not None,
+            "frames_drawn": record.app.frames_drawn if record.app else 0,
+            "sf_frames": stack.sf.frames_composited,
+            "gc_cycles": record.app.ctx.gc_cycles if record.app else 0,
+            "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
+        }
+    else:
+        model = spec.factory(seed)
+        system.run_for(cfg.settle_ticks)
+        system.profiler.reset()
+        reaped_at_open = system.kernel.threads_reaped
+        proc = model.launch(system)
+        system.run_for(cfg.duration_ticks)
+        comm = truncate_comm(model.name)
+        meta = {
+            "profile_insts": model.profile.insts,
+            "pid": proc.pid,
+        }
+
+    # "Threads spawned": every thread alive at window close plus the
+    # transients that came and went inside the window.
+    threads_observed = system.kernel.thread_count() + (
+        system.kernel.threads_reaped - reaped_at_open
+    )
+    return RunResult.from_profiler(
+        bench_id=spec.bench_id,
+        benchmark_comm=comm,
+        profiler=system.profiler,
+        duration_ticks=cfg.duration_ticks,
+        seed=seed,
+        live_processes=system.kernel.process_count(),
+        threads_spawned_total=threads_observed,
+        meta=meta,
+    )
+
+
+def dedup_ids(ids: Iterable[str]) -> list[str]:
+    """Drop duplicate bench ids, preserving first-occurrence order.
+
+    Duplicates used to run twice with the later result silently
+    clobbering the earlier in :meth:`SuiteResult.add`; now they warn.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    dupes: list[str] = []
+    for bench_id in ids:
+        if bench_id in seen:
+            dupes.append(bench_id)
+        else:
+            seen.add(bench_id)
+            out.append(bench_id)
+    if dupes:
+        warnings.warn(
+            f"duplicate benchmark ids dropped: {', '.join(dupes)}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return out
+
+
+class SuiteRunner:
+    """Runs benchmarks and collects results.
+
+    Batch execution is delegated to a pluggable *backend* (serial by
+    default); an optional *cache* short-circuits runs whose
+    ``(bench_id, config, version)`` key already has a stored result.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig | None = None,
+        backend: "ExecutionBackend | None" = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        from repro.core.backends import SerialBackend
+
         self.config = config if config is not None else RunConfig()
+        self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
     def run(self, bench_id: str, config: RunConfig | None = None) -> RunResult:
         """Execute one benchmark on a fresh system."""
-        cfg = config if config is not None else self.config
-        spec = get_benchmark(bench_id)
-        if cfg.calibration is not None:
-            with use_calibration(cfg.calibration):
-                return self._run_spec(spec, cfg)
-        return self._run_spec(spec, cfg)
+        return execute_one(bench_id, config if config is not None else self.config)
 
     def run_suite(
-        self, ids: Iterable[str] | None = None, config: RunConfig | None = None
+        self,
+        ids: Iterable[str] | None = None,
+        config: RunConfig | None = None,
+        progress: "ProgressCallback | None" = None,
     ) -> SuiteResult:
-        """Execute a set of benchmarks (default: the whole suite)."""
+        """Execute a set of benchmarks (default: the whole suite).
+
+        Cache hits are reported through *progress* with a zero elapsed
+        time; misses go to the backend (which may shard or parallelise)
+        and are stored back on completion.
+        """
+        cfg = config if config is not None else self.config
+        # Plan on the full deduplicated batch, then filter by cache: a
+        # shard partition must depend only on the batch, never on which
+        # results happen to be cached already.
+        wanted = self.backend.plan(
+            dedup_ids(
+                spec.bench_id
+                for spec in benchmarks(tuple(ids) if ids is not None else None)
+            )
+        )
+
+        cached: dict[str, RunResult] = {}
+        pending: list[str] = []
+        for bench_id in wanted:
+            hit = self.cache.get(bench_id, cfg) if self.cache is not None else None
+            if hit is not None:
+                cached[bench_id] = hit
+                if progress is not None:
+                    progress(bench_id, 0.0, hit)
+            else:
+                pending.append(bench_id)
+
+        def on_result(bench_id: str, elapsed: float, result: RunResult) -> None:
+            if self.cache is not None:
+                self.cache.put(bench_id, cfg, result)
+            if progress is not None:
+                progress(bench_id, elapsed, result)
+
+        fresh = {
+            r.bench_id: r for r in self.backend.execute(pending, cfg, on_result)
+        }
+
         out = SuiteResult()
-        for spec in benchmarks(tuple(ids) if ids is not None else None):
-            out.add(self.run(spec.bench_id, config))
+        for bench_id in wanted:
+            out.add(cached[bench_id] if bench_id in cached else fresh[bench_id])
         return out
-
-    # ------------------------------------------------------------------
-
-    def _run_spec(self, spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
-        seed = (cfg.seed * 2_654_435_761 + zlib.crc32(spec.bench_id.encode())) & 0x7FFF_FFFF
-        system = System(seed=seed)
-        stack = boot_android(system, jit_enabled=cfg.jit_enabled)
-
-        if spec.is_android:
-            model = spec.factory(seed)
-            model.setup_files(system)
-            system.run_for(cfg.settle_ticks)
-            system.profiler.reset()
-            reaped_at_open = system.kernel.threads_reaped
-            record = start_activity(stack, model, background=spec.background)
-            system.run_for(cfg.duration_ticks)
-            comm = model.benchmark_comm
-            meta = {
-                "package": model.package,
-                "mode": "background" if spec.background else "foreground",
-                "launched": record.proc is not None,
-                "frames_drawn": record.app.frames_drawn if record.app else 0,
-                "sf_frames": stack.sf.frames_composited,
-                "gc_cycles": record.app.ctx.gc_cycles if record.app else 0,
-                "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
-            }
-        else:
-            model = spec.factory(seed)
-            system.run_for(cfg.settle_ticks)
-            system.profiler.reset()
-            reaped_at_open = system.kernel.threads_reaped
-            proc = model.launch(system)
-            system.run_for(cfg.duration_ticks)
-            comm = truncate_comm(model.name)
-            meta = {
-                "profile_insts": model.profile.insts,
-                "pid": proc.pid,
-            }
-
-        # "Threads spawned": every thread alive at window close plus the
-        # transients that came and went inside the window.
-        threads_observed = system.kernel.thread_count() + (
-            system.kernel.threads_reaped - reaped_at_open
-        )
-        return RunResult.from_profiler(
-            bench_id=spec.bench_id,
-            benchmark_comm=comm,
-            profiler=system.profiler,
-            duration_ticks=cfg.duration_ticks,
-            seed=seed,
-            live_processes=system.kernel.process_count(),
-            threads_spawned_total=threads_observed,
-            meta=meta,
-        )

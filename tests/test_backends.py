@@ -1,0 +1,296 @@
+"""The pluggable execution-backend subsystem.
+
+The contract under test: a run is a pure function of (bench id, config),
+so every backend — serial, process pool, sharded — produces byte-identical
+results, and the content-addressed cache can stand in for any of them.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.calibration import Calibration
+from repro.core import (
+    FIGURE_ORDER,
+    QUICK_CONFIG,
+    BackendError,
+    ProcessPoolBackend,
+    ResultCache,
+    RunConfig,
+    SerialBackend,
+    ShardedBackend,
+    SuiteRunner,
+    make_backend,
+    parse_shard,
+    shard_ids,
+)
+
+SUBSET = ["countdown.main", "music.mp3.view", "401.bzip2", "999.specrand"]
+
+
+def _suite_json(suite) -> str:
+    """Normalised JSON for whole-suite comparison."""
+    return json.dumps(
+        {bid: run.to_json_dict() for bid, run in suite.runs.items()},
+        sort_keys=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# (a) Backend equivalence
+
+
+class TestBackendEquivalence:
+    def test_serial_and_process_results_are_byte_identical(self):
+        serial = SuiteRunner(QUICK_CONFIG, backend=SerialBackend())
+        process = SuiteRunner(QUICK_CONFIG, backend=ProcessPoolBackend(jobs=4))
+        assert _suite_json(serial.run_suite(SUBSET)) == _suite_json(
+            process.run_suite(SUBSET)
+        )
+
+    def test_process_backend_preserves_submission_order(self):
+        runner = SuiteRunner(QUICK_CONFIG, backend=ProcessPoolBackend(jobs=3))
+        assert runner.run_suite(SUBSET).ids() == SUBSET
+
+    def test_job_count_does_not_change_results(self):
+        one = SuiteRunner(QUICK_CONFIG, backend=ProcessPoolBackend(jobs=1))
+        many = SuiteRunner(QUICK_CONFIG, backend=ProcessPoolBackend(jobs=4))
+        ids = SUBSET[:2]
+        assert _suite_json(one.run_suite(ids)) == _suite_json(many.run_suite(ids))
+
+    def test_progress_fires_per_run_under_both_backends(self):
+        for backend in (SerialBackend(), ProcessPoolBackend(jobs=2)):
+            seen = []
+            runner = SuiteRunner(QUICK_CONFIG, backend=backend)
+            runner.run_suite(
+                SUBSET[:2],
+                progress=lambda bid, secs, res: seen.append((bid, secs, res)),
+            )
+            assert sorted(bid for bid, _, _ in seen) == sorted(SUBSET[:2])
+            assert all(secs > 0 for _, secs, _ in seen)
+            assert all(res.total_refs > 0 for _, _, res in seen)
+
+
+# ----------------------------------------------------------------------
+# (b) Sharding
+
+
+class TestSharding:
+    def test_shards_exactly_partition_figure_order(self):
+        first = shard_ids(FIGURE_ORDER, 1, 2)
+        second = shard_ids(FIGURE_ORDER, 2, 2)
+        assert set(first) | set(second) == set(FIGURE_ORDER)
+        assert not set(first) & set(second)
+        assert len(first) + len(second) == len(FIGURE_ORDER)
+
+    def test_shards_preserve_figure_order_within_shard(self):
+        for k in (1, 2, 3):
+            owned = shard_ids(FIGURE_ORDER, k, 3)
+            positions = [FIGURE_ORDER.index(i) for i in owned]
+            assert positions == sorted(positions)
+
+    def test_single_shard_is_the_whole_suite(self):
+        assert shard_ids(FIGURE_ORDER, 1, 1) == FIGURE_ORDER
+
+    def test_sharded_backend_runs_only_its_slice(self):
+        runner = SuiteRunner(QUICK_CONFIG, backend=ShardedBackend(2, 2))
+        suite = runner.run_suite(SUBSET)
+        assert suite.ids() == list(shard_ids(SUBSET, 2, 2))
+
+    def test_parse_shard(self):
+        assert parse_shard("1/4") == (1, 4)
+        assert parse_shard("4/4") == (4, 4)
+        for bad in ("0/4", "5/4", "x/4", "3", "1/0"):
+            with pytest.raises(BackendError):
+                parse_shard(bad)
+
+    def test_invalid_shard_rejected(self):
+        with pytest.raises(BackendError):
+            ShardedBackend(3, 2)
+        with pytest.raises(BackendError):
+            shard_ids(FIGURE_ORDER, 0, 2)
+
+    def test_warm_cache_does_not_shift_the_partition(self, tmp_path):
+        """The shard plan is made before cache filtering: with one result
+        already cached, concurrent shards must still collectively execute
+        every remaining benchmark exactly once."""
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:1]
+        )
+        suites = []
+        for k in (1, 2):
+            runner = SuiteRunner(
+                QUICK_CONFIG,
+                backend=ShardedBackend(k, 2),
+                cache=ResultCache(str(tmp_path)),
+            )
+            suites.append(runner.run_suite(SUBSET))
+        covered = [bid for s in suites for bid in s.ids()]
+        assert sorted(covered) == sorted(SUBSET)
+
+
+# ----------------------------------------------------------------------
+# (c) Result cache
+
+
+class TestResultCache:
+    def test_second_run_hits_and_skips_simulation(self, tmp_path):
+        first = SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path)))
+        baseline = first.run_suite(SUBSET[:2])
+        assert first.backend.executed == SUBSET[:2]
+
+        cache = ResultCache(str(tmp_path))
+        second = SuiteRunner(QUICK_CONFIG, cache=cache)
+        replay = second.run_suite(SUBSET[:2])
+        assert second.backend.executed == []          # zero new simulations
+        assert cache.hits == 2 and cache.misses == 0
+        assert _suite_json(replay) == _suite_json(baseline)
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SuiteRunner(QUICK_CONFIG, cache=cache).run_suite(SUBSET[:1])
+        changed = SuiteRunner(QUICK_CONFIG.scaled(0.5), cache=cache)
+        changed.run_suite(SUBSET[:1])
+        assert changed.backend.executed == SUBSET[:1]
+        assert len(cache) == 2
+
+    def test_key_covers_every_knob(self):
+        base = QUICK_CONFIG
+        variants = [
+            base.scaled(2.0),
+            RunConfig(duration_ticks=base.duration_ticks,
+                      settle_ticks=base.settle_ticks, seed=base.seed + 1),
+            RunConfig(duration_ticks=base.duration_ticks,
+                      settle_ticks=base.settle_ticks, jit_enabled=False),
+            RunConfig(duration_ticks=base.duration_ticks,
+                      settle_ticks=base.settle_ticks,
+                      calibration=Calibration().scaled(2.0)),
+        ]
+        keys = {ResultCache.key("countdown.main", cfg)
+                for cfg in [base] + variants}
+        assert len(keys) == len(variants) + 1
+        assert ResultCache.key("doom.main", base) != ResultCache.key(
+            "countdown.main", base
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = tmp_path / (ResultCache.key(SUBSET[0], QUICK_CONFIG) + ".json")
+        path.write_text("{not json")
+        assert cache.get(SUBSET[0], QUICK_CONFIG) is None
+        assert cache.misses == 1
+
+
+# ----------------------------------------------------------------------
+# (d) Config / calibration serialisation
+
+
+class TestSerialisation:
+    def test_calibration_pickle_round_trip(self):
+        cal = Calibration().scaled(1.7)
+        assert pickle.loads(pickle.dumps(cal)) == cal
+
+    def test_run_config_pickle_round_trip(self):
+        cfg = RunConfig(seed=77, jit_enabled=False,
+                        calibration=Calibration().scaled(0.5))
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_run_config_json_round_trip(self):
+        cfg = RunConfig(seed=9, calibration=Calibration().scaled(3.0))
+        raw = json.loads(json.dumps(cfg.to_json_dict()))
+        assert RunConfig.from_json_dict(raw) == cfg
+        plain = RunConfig(seed=9)
+        assert RunConfig.from_json_dict(plain.to_json_dict()) == plain
+
+    def test_calibration_override_reaches_workers(self):
+        """A scaled calibration must change results *through* the pool."""
+        hot = QUICK_CONFIG
+        cold = RunConfig(duration_ticks=hot.duration_ticks,
+                         settle_ticks=hot.settle_ticks,
+                         calibration=Calibration().scaled(4.0))
+        backend = ProcessPoolBackend(jobs=2)
+        runner = SuiteRunner(hot, backend=backend)
+        base = runner.run_suite(["doom.main"]).get("doom.main")
+        scaled = runner.run_suite(["doom.main"], config=cold).get("doom.main")
+        assert scaled.total_refs != base.total_refs
+
+
+# ----------------------------------------------------------------------
+# Dedup + backend factory
+
+
+class TestRunnerOrchestration:
+    def test_duplicate_ids_run_once_and_warn(self):
+        runner = SuiteRunner(QUICK_CONFIG)
+        with pytest.warns(RuntimeWarning, match="duplicate"):
+            suite = runner.run_suite(["countdown.main", "999.specrand",
+                                      "countdown.main"])
+        assert suite.ids() == ["countdown.main", "999.specrand"]
+        assert runner.backend.executed == ["countdown.main", "999.specrand"]
+
+    def test_make_backend_selection(self):
+        assert isinstance(make_backend(None, jobs=1), SerialBackend)
+        assert isinstance(make_backend(None, jobs=4), ProcessPoolBackend)
+        assert isinstance(make_backend("serial", jobs=4), SerialBackend)
+        sharded = make_backend("process", jobs=2, shard="1/3")
+        assert isinstance(sharded, ShardedBackend)
+        assert isinstance(sharded.inner, ProcessPoolBackend)
+        with pytest.raises(BackendError):
+            make_backend("gpu")
+
+    def test_process_backend_rejects_zero_jobs(self):
+        with pytest.raises(BackendError):
+            ProcessPoolBackend(jobs=0)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+
+
+class TestCli:
+    def test_suite_jobs_cache_progress(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--jobs", "2", "--cache", cache_dir, "--progress",
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        assert main(argv + ["--out", str(tmp_path / "a.json")]) == 0
+        first = capsys.readouterr().out
+        assert "countdown.main" in first and "cached" not in first
+
+        assert main(argv + ["--out", str(tmp_path / "b.json")]) == 0
+        second = capsys.readouterr().out
+        assert second.count("cached") == 2
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    def test_suite_shard_flag(self, capsys):
+        from repro.__main__ import main
+
+        argv = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--shard", "1/2",
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "countdown.main" in out and "999.specrand" not in out
+
+    def test_bad_shard_spec_is_a_clean_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["suite", "--shard", "0/2", "--bench",
+                     "countdown.main"]) == 2
+        assert "bad shard spec" in capsys.readouterr().err
+
+    def test_artifact_commands_reject_shard(self):
+        """Figures/table1/claims over a partial suite would be silently
+        wrong, so --shard is a suite-only flag."""
+        from repro.__main__ import main
+
+        for command in ("figures", "table1", "claims"):
+            with pytest.raises(SystemExit):
+                main([command, "--shard", "1/2"])
