@@ -4,11 +4,17 @@ DESIGN.md calls out the JIT's role in two artifacts: the
 dalvik-jit-code-cache instruction region (Figure 1) and the Compiler
 thread (Table I).  Disabling it must erase both and push execution back
 into libdvm.so.
+
+The on/off grid is expressed as a one-axis :class:`SweepSpec` and run by
+the sweep driver (both variants fan out as one batch) instead of a
+hand-rolled pair of loops.
 """
 
 import pytest
 
-from repro.core import RunConfig, SuiteRunner
+from repro.analysis.sweep import axis_table
+from repro.analysis.render import render_sweep_table
+from repro.core import RunConfig, SweepAxis, SweepRunner, SweepSpec
 from repro.sim.ticks import millis, seconds
 from benchmarks.conftest import write_artifact
 
@@ -16,19 +22,18 @@ ABLATION_BENCHES = ("frozenbubble.main", "jetboy.main", "aard.main")
 
 
 @pytest.fixture(scope="module")
-def jit_pair():
-    runner = SuiteRunner()
-    on_cfg = RunConfig(duration_ticks=seconds(2), settle_ticks=millis(300),
-                       jit_enabled=True)
-    off_cfg = RunConfig(duration_ticks=seconds(2), settle_ticks=millis(300),
-                        jit_enabled=False)
-    on = {b: runner.run(b, on_cfg) for b in ABLATION_BENCHES}
-    off = {b: runner.run(b, off_cfg) for b in ABLATION_BENCHES}
-    return on, off
+def jit_sweep():
+    spec = SweepSpec(
+        benches=ABLATION_BENCHES,
+        axes=(SweepAxis("jit", (True, False)),),
+        base=RunConfig(duration_ticks=seconds(2), settle_ticks=millis(300)),
+    )
+    return SweepRunner().run(spec)
 
 
-def test_jit_ablation(benchmark, jit_pair, results_dir):
-    on, off = jit_pair
+def test_jit_ablation(benchmark, jit_sweep, results_dir):
+    on = {b: jit_sweep.get(b, "jit=on") for b in ABLATION_BENCHES}
+    off = {b: jit_sweep.get(b, "jit=off") for b in ABLATION_BENCHES}
 
     def summarise():
         lines = ["JIT ablation (share of run instruction reads)"]
@@ -42,7 +47,9 @@ def test_jit_ablation(benchmark, jit_pair, results_dir):
                 f" {100 * on[b].region_share('libdvm.so'):>11.2f}"
                 f" {100 * off[b].region_share('libdvm.so'):>11.2f}"
             )
-        return "\n".join(lines) + "\n"
+        report = "\n".join(lines) + "\n\n"
+        report += render_sweep_table(axis_table(jit_sweep, "jit"))
+        return report
 
     report = benchmark(summarise)
     write_artifact(results_dir, "ablation_jit.txt", report)

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.core import RunConfig, SuiteRunner
+from repro.core import ResultCache, RunConfig, SuiteRunner
 from repro.sim.ticks import millis, seconds
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -30,9 +30,21 @@ def paper_config() -> RunConfig:
 
 
 @pytest.fixture(scope="session")
-def paper_suite(paper_config):
+def paper_cache(tmp_path_factory) -> str:
+    """A session-wide result cache directory.
+
+    Suite runs and sweeps key cache entries identically, so any bench
+    module that re-runs paper-config benchmarks through the sweep driver
+    (e.g. the mode ablation) hits the runs ``paper_suite`` already did —
+    or vice versa — instead of simulating them twice per session.
+    """
+    return str(tmp_path_factory.mktemp("agave-cache"))
+
+
+@pytest.fixture(scope="session")
+def paper_suite(paper_config, paper_cache):
     """All 25 benchmarks at full length (run once per session)."""
-    runner = SuiteRunner(paper_config)
+    runner = SuiteRunner(paper_config, cache=ResultCache(paper_cache))
     return runner.run_suite()
 
 

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Ablation study: what the Dalvik trace JIT contributes.
 
-Runs a JIT-hungry game with the trace JIT on and off, then shows the two
-artifacts the JIT creates in the paper's data: the
+Runs a JIT-hungry game with the trace JIT on and off — declared as a
+one-axis parameter sweep and executed by the sweep driver — then shows
+the two artifacts the JIT creates in the paper's data: the
 ``dalvik-jit-code-cache`` instruction region and the ``Compiler`` thread.
 
 Run:  python examples/jit_ablation.py
 """
 
-from repro.core import RunConfig, SuiteRunner
+from repro.analysis.sweep import axis_table
+from repro.analysis.render import render_sweep_table
+from repro.core import RunConfig, SweepAxis, SweepRunner, SweepSpec
 from repro.sim.ticks import millis, seconds
 
 BENCH = "frozenbubble.main"
@@ -28,17 +31,24 @@ def describe(tag: str, run) -> None:
 
 
 def main() -> None:
-    runner = SuiteRunner()
-    base = dict(duration_ticks=seconds(3), settle_ticks=millis(300))
-    print(f"running {BENCH} with the trace JIT on and off ...\n")
-    on = runner.run(BENCH, RunConfig(**base, jit_enabled=True))
-    off = runner.run(BENCH, RunConfig(**base, jit_enabled=False))
+    spec = SweepSpec(
+        benches=(BENCH,),
+        axes=(SweepAxis("jit", (True, False)),),
+        base=RunConfig(duration_ticks=seconds(3), settle_ticks=millis(300)),
+    )
+    print(f"sweeping {BENCH} over the trace-JIT axis ...\n")
+    sweep = SweepRunner().run(spec)
+    on = sweep.get(BENCH, "jit=on")
+    off = sweep.get(BENCH, "jit=off")
 
     describe("JIT enabled", on)
     print()
     describe("JIT disabled (-Xint)", off)
 
-    print("\nWith the JIT off the code cache is silent, the Compiler thread")
+    print()
+    print(render_sweep_table(axis_table(sweep, "jit")))
+
+    print("With the JIT off the code cache is silent, the Compiler thread")
     print("never runs, and the hot game loops fall back to the libdvm.so")
     print("interpreter — the knob behind the Compiler row of Table I.")
 

@@ -42,6 +42,10 @@ from repro.core import (
     ShardedBackend,
     SuiteResult,
     SuiteRunner,
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
     benchmarks,
     execute_one,
     get_benchmark,
@@ -66,6 +70,10 @@ __all__ = [
     "ShardedBackend",
     "SuiteResult",
     "SuiteRunner",
+    "SweepAxis",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
     "benchmarks",
     "evaluate_claims",

@@ -6,9 +6,11 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro run music.mp3.view --duration 4
     python -m repro suite --out suite.json --jobs 4 --progress
     python -m repro suite --shard 1/2 --cache .agave-cache --out shard1.json
+    python -m repro sweep --axis jit=on,off --axis seed=1,2 --jobs 4
     python -m repro figures --results suite.json --figure 1
     python -m repro table1 --results suite.json
     python -m repro claims --cache .agave-cache
+    python -m repro cache stats .agave-cache
 
 Execution flags (``--jobs``, ``--backend``, ``--cache``, ``--progress``)
 apply wherever benchmarks may actually run: ``suite`` and any artifact
@@ -19,7 +21,9 @@ figures/tables/claims over a partial suite would be silently wrong.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from typing import Callable
 
 from repro.analysis import (
     evaluate_claims,
@@ -32,8 +36,10 @@ from repro.analysis.render import (
     render_breakdown_table,
     render_claims,
     render_stacked_ascii,
+    render_sweep_table,
     render_table1,
 )
+from repro.analysis.sweep import METRICS, sweep_tables
 from repro.core import (
     BACKEND_NAMES,
     ResultCache,
@@ -41,10 +47,14 @@ from repro.core import (
     RunResult,
     SuiteResult,
     SuiteRunner,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
     benchmarks,
     make_backend,
+    parse_axis,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.sim.ticks import millis, seconds
 
 
@@ -90,14 +100,25 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     )
 
 
-def _progress_printer(args: argparse.Namespace):
+def _progress_printer(
+    args: argparse.Namespace,
+    label: "Callable[[object], str]" = str,
+    width: int = 22,
+):
+    """A progress callback printing one line per completed unit.
+
+    *label* maps the callback's first argument (a bench id, or a
+    SweepPoint for sweeps) to the printed name.
+    """
     if not args.progress:
         return None
 
-    def emit(bench_id: str, elapsed: float, result: RunResult) -> None:
-        tag = "cached" if elapsed == 0.0 else f"{elapsed:6.2f}s"
-        print(f"  {bench_id:<22} {tag:>8} {result.total_refs:>15,} refs",
-              flush=True)
+    def emit(unit, elapsed: "float | None", result: RunResult) -> None:
+        # elapsed=None means the result came from the cache; a real run
+        # that happened to clock 0.00s still prints its timing.
+        tag = "cached" if elapsed is None else f"{elapsed:6.2f}s"
+        print(f"  {label(unit):<{width}} {tag:>8} "
+              f"{result.total_refs:>15,} refs", flush=True)
 
     return emit
 
@@ -147,6 +168,45 @@ def cmd_suite(args: argparse.Namespace) -> int:
     else:
         for bench_id in suite.ids():
             print(f"{bench_id:<22} {suite.get(bench_id).total_refs:>15,} refs")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    axes = tuple(parse_axis(text) for text in args.axis or [])
+    ids = args.bench or [spec.bench_id for spec in benchmarks()]
+    spec = SweepSpec(benches=tuple(ids), axes=axes, base=_config(args))
+    runner = SweepRunner(
+        backend=make_backend(args.backend, jobs=args.jobs),
+        cache=ResultCache(args.cache) if args.cache else None,
+    )
+    result = runner.run(
+        spec,
+        progress=_progress_printer(args, label=lambda p: p.label, width=40),
+    )
+    if args.out:
+        result.save(args.out)
+        print(f"saved {len(result.runs)} sweep cells to {args.out}")
+    if axes:
+        for table in sweep_tables(result, metric=args.metric):
+            print(render_sweep_table(table))
+    elif not args.out:
+        for (bench_id, variant), run in result.runs.items():
+            print(f"{bench_id:<22} [{variant}] {run.total_refs:>15,} refs")
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    # A stats query must not conjure the directory into existence: a
+    # typo'd path should error, not report a healthy empty cache.
+    if not os.path.isdir(args.dir):
+        raise ConfigError(f"no cache directory at {args.dir!r}")
+    cache = ResultCache(args.dir)
+    stats = cache.stats()
+    print(f"cache:   {cache.root}")
+    print(f"entries: {stats.entries}")
+    print(f"bytes:   {stats.total_bytes:,}")
+    print(f"hits:    {stats.hits}")
+    print(f"misses:  {stats.misses}")
     return 0
 
 
@@ -208,6 +268,32 @@ def make_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p_suite, sharding=True)
     p_suite.set_defaults(func=cmd_suite)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a parameter grid and show per-axis deltas"
+    )
+    p_sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                         help="sweep axis: jit=on,off | seed=1,2,3 | "
+                              "duration=0.5,1.0 | cal.<field>=A,B "
+                              "(repeatable; order fixes the grid)")
+    p_sweep.add_argument("--bench", action="append", metavar="ID",
+                         help="sweep only this benchmark (repeatable; "
+                              "default: the whole suite)")
+    p_sweep.add_argument("--out", help="save sweep results JSON here")
+    p_sweep.add_argument("--metric", choices=sorted(METRICS),
+                         default="total_refs",
+                         help="metric shown in the per-axis delta tables")
+    _add_exec_flags(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="show hits/misses/entries/bytes for a cache directory"
+    )
+    p_stats.add_argument("dir", metavar="DIR",
+                         help="cache directory (as passed to --cache)")
+    p_stats.set_defaults(func=cmd_cache_stats)
+
     for name, func, extra in (
         ("figures", cmd_figures, True),
         ("table1", cmd_table1, False),
@@ -234,6 +320,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # A downstream consumer (| head, | grep -q) closed the pipe.
+        # Don't traceback, but don't claim success either: the command
+        # was cut short mid-stream (later side effects like --out may
+        # not have happened).  128+SIGPIPE matches the shell convention.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

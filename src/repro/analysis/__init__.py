@@ -14,15 +14,27 @@ from repro.analysis.render import (
     render_breakdown_table,
     render_claims,
     render_stacked_ascii,
+    render_sweep_table,
     render_table1,
+)
+from repro.analysis.sweep import (
+    METRICS,
+    SweepRow,
+    SweepTable,
+    axis_table,
+    sweep_tables,
 )
 from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, table1
 
 __all__ = [
     "Claim",
+    "METRICS",
     "StackedBreakdown",
+    "SweepRow",
+    "SweepTable",
     "Table1",
     "ThreadRow",
+    "axis_table",
     "build_figure",
     "build_stacked",
     "canonical_thread_name",
@@ -36,7 +48,9 @@ __all__ = [
     "render_breakdown_table",
     "render_claims",
     "render_stacked_ascii",
+    "render_sweep_table",
     "render_table1",
     "shares",
+    "sweep_tables",
     "table1",
 ]

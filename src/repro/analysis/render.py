@@ -12,6 +12,7 @@ from repro.analysis.tables import Table1
 
 if TYPE_CHECKING:
     from repro.analysis.claims import Claim
+    from repro.analysis.sweep import SweepTable
 
 
 def render_breakdown_table(fig: StackedBreakdown, width: int = 24) -> str:
@@ -71,6 +72,39 @@ def render_table1(table: Table1, top_n: int = 6) -> str:
     out.write("-" * 54 + "\n")
     for row in table.top(top_n):
         out.write(f"{row.thread:<24} {row.percent:>28.1f}\n")
+    return out.getvalue()
+
+
+def render_sweep_table(table: "SweepTable", width: int = 22) -> str:
+    """One axis's delta table: rows are (benchmark, context), columns are
+    the axis's values with percent deltas vs the first value."""
+    out = io.StringIO()
+    out.write(
+        f"Sweep axis {table.axis!r} — {table.metric} "
+        f"(Δ vs {table.axis}={table.value_labels[0]})\n"
+    )
+    has_context = any(row.context for row in table.rows)
+    ctx_width = (
+        max([len("context")] + [len(row.context) for row in table.rows]) + 2
+        if has_context
+        else 0
+    )
+    header = "benchmark".ljust(width)
+    if has_context:
+        header += "context".ljust(ctx_width)
+    header += table.value_labels[0].rjust(16)
+    for label in table.value_labels[1:]:
+        header += label.rjust(16) + "Δ%".rjust(9)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in table.rows:
+        line = row.bench_id.ljust(width)
+        if has_context:
+            line += row.context.ljust(ctx_width)
+        line += f"{row.metrics[0]:16,.0f}"
+        for metric, delta in zip(row.metrics[1:], row.deltas[1:]):
+            line += f"{metric:16,.0f}{delta:+9.1f}"
+        out.write(line + "\n")
     return out.getvalue()
 
 

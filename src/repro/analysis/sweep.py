@@ -1,0 +1,130 @@
+"""Per-axis delta tables over a sweep: how a metric moves along one axis.
+
+For each swept axis, :func:`axis_table` pivots the grid so rows are
+``(benchmark, fixed other-axis values)`` and columns are that axis's
+values, with percentage deltas against the first (baseline) value —
+the shape of the paper's ablation discussions ("disabling the JIT moves
+X% of instruction fetches back into libdvm.so").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.sweep import format_axis_value, variant_label
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult
+    from repro.core.sweep import SweepResult
+
+#: Named metrics a delta table can pivot on.
+METRICS: "dict[str, Callable[[RunResult], float]]" = {
+    "total_refs": lambda run: float(run.total_refs),
+    "total_instr": lambda run: float(run.total_instr),
+    "total_data": lambda run: float(run.total_data),
+    "threads": lambda run: float(run.thread_count()),
+    "processes": lambda run: float(run.process_count()),
+    "code_regions": lambda run: float(run.code_region_count()),
+}
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One pivot row: a benchmark under one fixed context."""
+
+    bench_id: str
+    #: The other axes' values, e.g. ``seed=2`` (empty for single-axis sweeps).
+    context: str
+    #: The metric at each of the axis's values, in axis order.
+    metrics: tuple[float, ...]
+    #: Percent change vs the first value (first entry always 0.0).
+    deltas: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """A metric pivoted along one axis of a sweep."""
+
+    axis: str
+    #: Formatted labels of the axis's values, e.g. ``("on", "off")``.
+    value_labels: tuple[str, ...]
+    metric: str
+    rows: tuple[SweepRow, ...]
+
+
+def _deltas(metrics: "tuple[float, ...]") -> "tuple[float, ...]":
+    base = metrics[0]
+    if base == 0.0:
+        return tuple(0.0 for _ in metrics)
+    return tuple(100.0 * (m - base) / base for m in metrics)
+
+
+def axis_table(
+    result: "SweepResult", axis: str, metric: str = "total_refs"
+) -> SweepTable:
+    """Pivot *metric* along *axis*, one row per (bench, other-axis combo).
+
+    Rows with missing cells are dropped rather than raised: a sharded
+    sweep holds only its slice of the grid, and a delta is only
+    meaningful when every value of the axis is present for the row
+    (merge the shards via :meth:`~repro.core.sweep.SweepResult.merge`
+    to get the full table).
+    """
+    if axis not in result.axes:
+        raise AnalysisError(
+            f"no axis {axis!r} in sweep; swept: {', '.join(result.axes) or '-'}"
+        )
+    try:
+        measure = METRICS[metric]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown sweep metric {metric!r}; known: {', '.join(METRICS)}"
+        ) from None
+
+    axis_order = list(result.axes)
+    other_names = [name for name in axis_order if name != axis]
+    other_combos = list(
+        itertools.product(*(result.axes[name] for name in other_names))
+    )
+
+    rows = []
+    for bench_id in result.benches():
+        for combo in other_combos:
+            fixed = dict(zip(other_names, combo))
+            metrics = []
+            for value in result.axes[axis]:
+                values = dict(fixed)
+                values[axis] = value
+                label = variant_label(values, axis_order)
+                run = result.runs.get((bench_id, label))
+                if run is None:
+                    break
+                metrics.append(measure(run))
+            if len(metrics) != len(result.axes[axis]):
+                continue
+            rows.append(
+                SweepRow(
+                    bench_id=bench_id,
+                    context=variant_label(fixed, other_names) if fixed else "",
+                    metrics=tuple(metrics),
+                    deltas=_deltas(tuple(metrics)),
+                )
+            )
+    return SweepTable(
+        axis=axis,
+        value_labels=tuple(
+            format_axis_value(v) for v in result.axes[axis]
+        ),
+        metric=metric,
+        rows=tuple(rows),
+    )
+
+
+def sweep_tables(
+    result: "SweepResult", metric: str = "total_refs"
+) -> list[SweepTable]:
+    """One delta table per swept axis, in declaration order."""
+    return [axis_table(result, axis, metric) for axis in result.axes]

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from repro.core.backends.base import (
     BackendError,
+    BatchProgress,
     ExecutionBackend,
     ProgressCallback,
+    WorkItem,
 )
 from repro.core.backends.process import ProcessPoolBackend
 from repro.core.backends.serial import SerialBackend
@@ -56,11 +58,13 @@ def make_backend(
 __all__ = [
     "BACKEND_NAMES",
     "BackendError",
+    "BatchProgress",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "ProgressCallback",
     "SerialBackend",
     "ShardedBackend",
+    "WorkItem",
     "make_backend",
     "parse_shard",
     "shard_ids",

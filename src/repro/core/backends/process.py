@@ -7,19 +7,30 @@ embarrassingly parallel.  Workers receive ``(bench_id, cfg)`` — the config
 across the process boundary, and :func:`~repro.core.runner.execute_one`
 installs the override inside the worker, so no parent-process global
 state is relied upon.
+
+Batches may mix configs: a parameter sweep submits its whole flattened
+grid at once, so points from different variants interleave in the pool
+rather than executing config-by-config.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Sequence, TypeVar
 
-from repro.core.backends.base import BackendError, ProgressCallback
+from repro.core.backends.base import (
+    BackendError,
+    BatchProgress,
+    ProgressCallback,
+    execute_single_config,
+)
 
 if TYPE_CHECKING:
     from repro.core.results import RunResult
     from repro.core.runner import RunConfig
+
+_T = TypeVar("_T")
 
 
 def _timed_worker(bench_id: str, cfg: "RunConfig") -> "tuple[RunResult, float]":
@@ -50,20 +61,30 @@ class ProcessPoolBackend:
     def plan(self, bench_ids: Sequence[str]) -> list[str]:
         return list(bench_ids)
 
+    def plan_batch(self, items: Sequence[_T]) -> list[_T]:
+        return list(items)
+
     def execute(
         self,
         bench_ids: Sequence[str],
         cfg: "RunConfig",
         on_result: ProgressCallback | None = None,
     ) -> "list[RunResult]":
-        ids = list(bench_ids)
-        if not ids:
+        return execute_single_config(self, bench_ids, cfg, on_result)
+
+    def execute_batch(
+        self,
+        items: "Sequence[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        batch = list(items)
+        if not batch:
             return []
-        results: list[RunResult | None] = [None] * len(ids)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(ids))) as pool:
+        results: list[RunResult | None] = [None] * len(batch)
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(batch))) as pool:
             futures = {
                 pool.submit(_timed_worker, bench_id, cfg): index
-                for index, bench_id in enumerate(ids)
+                for index, (bench_id, cfg) in enumerate(batch)
             }
             pending = set(futures)
             while pending:
@@ -72,7 +93,7 @@ class ProcessPoolBackend:
                     index = futures[future]
                     result, elapsed = future.result()
                     results[index] = result
-                    self.executed.append(ids[index])
+                    self.executed.append(batch[index][0])
                     if on_result is not None:
-                        on_result(ids[index], elapsed, result)
+                        on_result(index, elapsed, result)
         return [r for r in results if r is not None]

@@ -3,13 +3,19 @@
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Sequence, TypeVar
 
-from repro.core.backends.base import ProgressCallback
+from repro.core.backends.base import (
+    BatchProgress,
+    ProgressCallback,
+    execute_single_config,
+)
 
 if TYPE_CHECKING:
     from repro.core.results import RunResult
     from repro.core.runner import RunConfig
+
+_T = TypeVar("_T")
 
 
 class SerialBackend:
@@ -30,21 +36,31 @@ class SerialBackend:
     def plan(self, bench_ids: Sequence[str]) -> list[str]:
         return list(bench_ids)
 
+    def plan_batch(self, items: Sequence[_T]) -> list[_T]:
+        return list(items)
+
     def execute(
         self,
         bench_ids: Sequence[str],
         cfg: "RunConfig",
         on_result: ProgressCallback | None = None,
     ) -> "list[RunResult]":
+        return execute_single_config(self, bench_ids, cfg, on_result)
+
+    def execute_batch(
+        self,
+        items: "Sequence[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
         from repro.core.runner import execute_one
 
         out: list[RunResult] = []
-        for bench_id in bench_ids:
+        for index, (bench_id, cfg) in enumerate(items):
             started = time.perf_counter()
             result = execute_one(bench_id, cfg)
             elapsed = time.perf_counter() - started
             self.executed.append(bench_id)
             if on_result is not None:
-                on_result(bench_id, elapsed, result)
+                on_result(index, elapsed, result)
             out.append(result)
         return out

@@ -8,14 +8,21 @@ input (order preserved within each shard).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Sequence, TypeVar
 
-from repro.core.backends.base import BackendError, ExecutionBackend, ProgressCallback
+from repro.core.backends.base import (
+    BackendError,
+    BatchProgress,
+    ExecutionBackend,
+    ProgressCallback,
+)
 from repro.core.backends.serial import SerialBackend
 
 if TYPE_CHECKING:
     from repro.core.results import RunResult
     from repro.core.runner import RunConfig
+
+_T = TypeVar("_T")
 
 
 def parse_shard(text: str) -> tuple[int, int]:
@@ -36,8 +43,13 @@ def parse_shard(text: str) -> tuple[int, int]:
     return index, count
 
 
-def shard_ids(ids: Sequence[str], index: int, count: int) -> tuple[str, ...]:
-    """The ordered slice of *ids* owned by shard *index* of *count* (1-based)."""
+def shard_ids(ids: Sequence[_T], index: int, count: int) -> tuple[_T, ...]:
+    """The ordered slice of *ids* owned by shard *index* of *count* (1-based).
+
+    Generic over the element type: bench ids and sweep points partition
+    through this one function, so the round-robin scheme can never
+    diverge between the two.
+    """
     if count < 1 or not 1 <= index <= count:
         raise BackendError(f"bad shard {index}/{count}: need 1 <= K <= N")
     return tuple(ids[index - 1 :: count])
@@ -76,6 +88,9 @@ class ShardedBackend:
     def plan(self, bench_ids: Sequence[str]) -> list[str]:
         return list(shard_ids(tuple(bench_ids), self.index, self.count))
 
+    def plan_batch(self, items: Sequence[_T]) -> list[_T]:
+        return list(shard_ids(tuple(items), self.index, self.count))
+
     def execute(
         self,
         bench_ids: Sequence[str],
@@ -83,3 +98,10 @@ class ShardedBackend:
         on_result: ProgressCallback | None = None,
     ) -> "list[RunResult]":
         return self.inner.execute(bench_ids, cfg, on_result)
+
+    def execute_batch(
+        self,
+        items: "Sequence[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        return self.inner.execute_batch(items, on_result)

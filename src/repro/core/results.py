@@ -12,9 +12,12 @@ already seen.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import re
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -252,6 +255,20 @@ class SuiteResult:
         return out
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one cache directory's health."""
+
+    #: Stored run entries on disk.
+    entries: int
+    #: Total bytes those entries occupy.
+    total_bytes: int
+    #: Lifetime hits (persisted across processes plus this session).
+    hits: int
+    #: Lifetime misses (persisted across processes plus this session).
+    misses: int
+
+
 class ResultCache:
     """Content-addressed store of completed runs.
 
@@ -260,13 +277,26 @@ class ResultCache:
     settle, seed, JIT flag, calibration override — changes the key, and
     bumping ``repro.__version__`` invalidates everything at once, since
     a model change can shift results without any config change.
+
+    Opening a cache sweeps up stale ``*.tmp.<pid>`` droppings left by
+    writers that were killed mid-:meth:`put` (a tmp file is kept only
+    while its writer pid is still alive).  Corrupt entries are deleted
+    the moment a read trips over them, so one bad file can never turn
+    every future lookup of that key into a silent re-simulation.
     """
+
+    #: Hit/miss counters persisted in the cache directory (underscore
+    #: prefix keeps it out of the entry namespace, which is pure hex).
+    STATS_FILE = "_stats.json"
 
     def __init__(self, root: str) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._flushed_hits = 0
+        self._flushed_misses = 0
+        self.sweep_stale_tmp()
 
     # ------------------------------------------------------------------
 
@@ -287,16 +317,31 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def get(self, bench_id: str, cfg: "RunConfig") -> RunResult | None:
-        """The stored run for this key, or ``None`` on a miss."""
+        """The stored run for this key, or ``None`` on a miss.
+
+        A corrupt entry (truncated write, bad JSON, missing fields) is
+        deleted — not left in place to shadow the key forever — and
+        counted as a miss, so the subsequent :meth:`put` heals the cache.
+        """
         path = self._path(bench_id, cfg)
         try:
             with open(path, encoding="utf-8") as fh:
                 raw = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self._discard_corrupt(path, "not valid JSON")
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_json_dict(raw)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._discard_corrupt(path, "not a RunResult payload")
             self.misses += 1
             return None
         self.hits += 1
-        return RunResult.from_json_dict(raw)
+        return result
 
     def put(self, bench_id: str, cfg: "RunConfig", result: RunResult) -> None:
         """Store one completed run (atomically, for concurrent writers)."""
@@ -307,4 +352,113 @@ class ResultCache:
         os.replace(tmp, path)
 
     def __len__(self) -> int:
-        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+        return len(self._entry_names())
+
+    # ------------------------------------------------------------------
+    # Hygiene + stats
+
+    def _entry_names(self) -> list[str]:
+        """Stored run entries (hex-keyed ``.json`` files only)."""
+        return [
+            name
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and not name.startswith("_")
+        ]
+
+    @staticmethod
+    def _discard_corrupt(path: str, why: str) -> None:
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+        warnings.warn(
+            f"discarded corrupt cache entry {path} ({why})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def sweep_stale_tmp(self) -> int:
+        """Delete this cache's ``*.json.tmp.<pid>`` files whose writer
+        is gone.
+
+        A writer killed between the tmp write and the atomic rename
+        leaves its tmp file behind forever; a tmp file whose pid is
+        still a live process belongs to an in-flight :meth:`put` and is
+        left alone.  Only files matching the cache's own tmp naming
+        (hex entry key or the stats file, ``.json.tmp.`` then digits)
+        are candidates — anything else in the directory is not ours to
+        delete.  Returns the number of files removed.
+        """
+        removed = 0
+        for name in os.listdir(self.root):
+            match = _TMP_NAME.fullmatch(name)
+            if match is None or _pid_alive(int(match.group(1))):
+                continue
+            with contextlib.suppress(OSError):
+                os.unlink(os.path.join(self.root, name))
+                removed += 1
+        return removed
+
+    def flush_stats(self) -> None:
+        """Merge this session's hit/miss counters into the persisted
+        stats file (atomic replace; concurrent writers may undercount,
+        never corrupt)."""
+        new_hits = self.hits - self._flushed_hits
+        new_misses = self.misses - self._flushed_misses
+        if not new_hits and not new_misses:
+            return
+        persisted = self._read_persisted_stats()
+        payload = {
+            "hits": persisted["hits"] + new_hits,
+            "misses": persisted["misses"] + new_misses,
+        }
+        path = os.path.join(self.root, self.STATS_FILE)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        self._flushed_hits = self.hits
+        self._flushed_misses = self.misses
+
+    def _read_persisted_stats(self) -> dict[str, int]:
+        path = os.path.join(self.root, self.STATS_FILE)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+            return {"hits": int(raw["hits"]), "misses": int(raw["misses"])}
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def stats(self) -> CacheStats:
+        """Entries/bytes on disk plus lifetime hit/miss counters."""
+        total_bytes = 0
+        entries = self._entry_names()
+        for name in entries:
+            with contextlib.suppress(OSError):
+                total_bytes += os.path.getsize(os.path.join(self.root, name))
+        persisted = self._read_persisted_stats()
+        return CacheStats(
+            entries=len(entries),
+            total_bytes=total_bytes,
+            hits=persisted["hits"] + self.hits - self._flushed_hits,
+            misses=persisted["misses"] + self.misses - self._flushed_misses,
+        )
+
+
+#: In-flight write droppings this cache may own: a hex entry key or the
+#: stats file, then ``.json.tmp.<pid>``.
+_TMP_NAME = re.compile(r"(?:[0-9a-f]{64}|_stats)\.json\.tmp\.(\d+)")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether *pid* names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True

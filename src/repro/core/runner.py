@@ -19,14 +19,16 @@ from __future__ import annotations
 import warnings
 import zlib
 from dataclasses import asdict, dataclass, replace
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.android.app import start_activity
 from repro.android.boot import boot_android
 from repro.calibration import Calibration, use_calibration
+from repro.core.backends.base import shortfall_error
 from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.core.spec import BenchmarkSpec
 from repro.core.suite import benchmarks, get_benchmark
+from repro.errors import ConfigError
 from repro.kernel.layout import truncate_comm
 from repro.sim.system import System
 from repro.sim.ticks import millis, seconds
@@ -55,8 +57,14 @@ class RunConfig:
     calibration: Calibration | None = None
 
     def scaled(self, factor: float) -> "RunConfig":
-        """A config with the window scaled by *factor*."""
-        return replace(self, duration_ticks=int(self.duration_ticks * factor))
+        """A config with the window scaled by *factor*.
+
+        Clamped to at least one tick: a tiny factor must shrink the
+        window, never truncate it to a degenerate zero-tick run.
+        """
+        return replace(
+            self, duration_ticks=max(1, int(self.duration_ticks * factor))
+        )
 
     def to_json_dict(self) -> dict:
         """Plain-JSON representation (stable key order via dataclass order;
@@ -65,10 +73,24 @@ class RunConfig:
 
     @classmethod
     def from_json_dict(cls, raw: dict) -> "RunConfig":
-        """Inverse of :meth:`to_json_dict`."""
+        """Inverse of :meth:`to_json_dict`.
+
+        Validates the window: a config deserialised from external JSON
+        must not smuggle in a zero/negative measurement window or a
+        negative settle.
+        """
         raw = dict(raw)
         cal = raw.pop("calibration", None)
-        return cls(calibration=Calibration(**cal) if cal else None, **raw)
+        cfg = cls(calibration=Calibration(**cal) if cal else None, **raw)
+        if cfg.duration_ticks < 1:
+            raise ConfigError(
+                f"duration_ticks must be >= 1, got {cfg.duration_ticks}"
+            )
+        if cfg.settle_ticks < 0:
+            raise ConfigError(
+                f"settle_ticks must be >= 0, got {cfg.settle_ticks}"
+            )
+        return cfg
 
 
 #: A fast configuration for tests.
@@ -171,6 +193,68 @@ def dedup_ids(ids: Iterable[str]) -> list[str]:
     return out
 
 
+def execute_with_cache(
+    backend: "ExecutionBackend",
+    cache: ResultCache | None,
+    items: "Sequence[tuple[str, RunConfig]]",
+    labels: Sequence[str],
+    units: Sequence[object],
+    progress: "Callable[[object, float | None, RunResult], None] | None" = None,
+) -> list[RunResult]:
+    """Run a planned batch through *cache* then *backend*.
+
+    The one cache-aware batch orchestration both the suite runner and
+    the sweep runner use: per-item cache lookup (hits reported through
+    *progress* with ``elapsed=None``), misses executed as a batch with
+    completed runs stored back, lost results raised as a
+    :class:`~repro.core.backends.BackendError` naming the matching
+    *labels*, and hit/miss counters flushed even on failure.  *units*
+    are what *progress* receives for each item (bench ids for suites,
+    :class:`~repro.core.sweep.SweepPoint` objects for sweeps).  Returns
+    one result per item, in item order.
+    """
+    results: "list[RunResult | None]" = [None] * len(items)
+    pending: list[int] = []
+    for index, (bench_id, cfg) in enumerate(items):
+        hit = cache.get(bench_id, cfg) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress(units[index], None, hit)
+        else:
+            pending.append(index)
+
+    def on_result(batch_index: int, elapsed: float, run: RunResult) -> None:
+        index = pending[batch_index]
+        if cache is not None:
+            bench_id, cfg = items[index]
+            cache.put(bench_id, cfg, run)
+        results[index] = run
+        if progress is not None:
+            progress(units[index], elapsed, run)
+
+    try:
+        returned = backend.execute_batch(
+            [items[index] for index in pending], on_result
+        )
+        # Belt and braces: a backend that returns a fully aligned list
+        # without driving the callback still yields a complete batch.
+        if len(returned) == len(pending):
+            for batch_index, run in enumerate(returned):
+                index = pending[batch_index]
+                if results[index] is None and run is not None:
+                    results[index] = run
+        missing = [labels[index] for index in pending if results[index] is None]
+        if missing:
+            raise shortfall_error(backend, missing, len(pending))
+    finally:
+        # Persist hit/miss counters even when the backend fails: the
+        # hits already served this session happened either way.
+        if cache is not None:
+            cache.flush_stats()
+    return results  # type: ignore[return-value]  # all slots filled above
+
+
 class SuiteRunner:
     """Runs benchmarks and collects results.
 
@@ -205,8 +289,9 @@ class SuiteRunner:
     ) -> SuiteResult:
         """Execute a set of benchmarks (default: the whole suite).
 
-        Cache hits are reported through *progress* with a zero elapsed
-        time; misses go to the backend (which may shard or parallelise)
+        Cache hits are reported through *progress* with ``elapsed=None``
+        (no simulation happened — distinct from a genuinely instantaneous
+        run); misses go to the backend (which may shard or parallelise)
         and are stored back on completion.
         """
         cfg = config if config is not None else self.config
@@ -220,28 +305,16 @@ class SuiteRunner:
             )
         )
 
-        cached: dict[str, RunResult] = {}
-        pending: list[str] = []
-        for bench_id in wanted:
-            hit = self.cache.get(bench_id, cfg) if self.cache is not None else None
-            if hit is not None:
-                cached[bench_id] = hit
-                if progress is not None:
-                    progress(bench_id, 0.0, hit)
-            else:
-                pending.append(bench_id)
-
-        def on_result(bench_id: str, elapsed: float, result: RunResult) -> None:
-            if self.cache is not None:
-                self.cache.put(bench_id, cfg, result)
-            if progress is not None:
-                progress(bench_id, elapsed, result)
-
-        fresh = {
-            r.bench_id: r for r in self.backend.execute(pending, cfg, on_result)
-        }
+        results = execute_with_cache(
+            self.backend,
+            self.cache,
+            [(bench_id, cfg) for bench_id in wanted],
+            labels=wanted,
+            units=wanted,
+            progress=progress,
+        )
 
         out = SuiteResult()
-        for bench_id in wanted:
-            out.add(cached[bench_id] if bench_id in cached else fresh[bench_id])
+        for result in results:
+            out.add(result)
         return out

@@ -52,6 +52,10 @@ class WorkloadError(ReproError):
     """A benchmark workload was misconfigured."""
 
 
+class ConfigError(ReproError):
+    """A run configuration or sweep specification is invalid."""
+
+
 class AnalysisError(ReproError):
     """Post-processing of run results failed."""
 

@@ -8,6 +8,7 @@ results, and the content-addressed cache can stand in for any of them.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 
 import pytest
@@ -176,12 +177,61 @@ class TestResultCache:
             "countdown.main", base
         )
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         path = tmp_path / (ResultCache.key(SUBSET[0], QUICK_CONFIG) + ".json")
         path.write_text("{not json")
-        assert cache.get(SUBSET[0], QUICK_CONFIG) is None
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(SUBSET[0], QUICK_CONFIG) is None
         assert cache.misses == 1
+        # The bad file is gone, so the next put() heals this key for good.
+        assert not path.exists()
+
+    def test_valid_json_wrong_shape_is_discarded(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = tmp_path / (ResultCache.key(SUBSET[0], QUICK_CONFIG) + ".json")
+        path.write_text('{"bench_id": "half-written"}')
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(SUBSET[0], QUICK_CONFIG) is None
+        assert not path.exists()
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        key = ResultCache.key(SUBSET[0], QUICK_CONFIG)
+        dead = tmp_path / f"{key}.json.tmp.999999999"
+        dead.write_text("{")
+        alive = tmp_path / f"{key}.json.tmp.{os.getpid()}"
+        alive.write_text("{")
+        foreign = tmp_path / "notes.tmp.bak"
+        foreign.write_text("mine")
+        ResultCache(str(tmp_path))
+        assert not dead.exists()          # writer long gone
+        assert alive.exists()             # in-flight writer is left alone
+        assert foreign.exists()           # not our naming -> not our file
+
+    def test_progress_distinguishes_cache_hits_from_fast_runs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SuiteRunner(QUICK_CONFIG, cache=cache).run_suite(SUBSET[:1])
+        seen = []
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:1],
+            progress=lambda bid, secs, res: seen.append((bid, secs)),
+        )
+        assert seen == [(SUBSET[0], None)]   # None = cached, not elapsed==0
+
+    def test_cache_stats_persist_across_instances(self, tmp_path):
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:2]
+        )
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:2]
+        )
+        stats = ResultCache(str(tmp_path)).stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.hits == 2            # second invocation's hits
+        assert stats.misses == 2          # first invocation's misses
+        # The stats file itself never counts as an entry.
+        assert len(ResultCache(str(tmp_path))) == 2
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +294,37 @@ class TestRunnerOrchestration:
     def test_process_backend_rejects_zero_jobs(self):
         with pytest.raises(BackendError):
             ProcessPoolBackend(jobs=0)
+
+    def test_backend_shortfall_raises_naming_the_missing(self):
+        """A backend that silently loses results (crashed pool worker)
+        must surface as a BackendError naming the missing bench ids, not
+        a bare KeyError during result assembly."""
+
+        class LossyBackend(SerialBackend):
+            name = "lossy"
+
+            def execute_batch(self, items, on_result=None):
+                return super().execute_batch(list(items)[:-1], on_result)
+
+        runner = SuiteRunner(QUICK_CONFIG, backend=LossyBackend())
+        with pytest.raises(BackendError, match="999.specrand"):
+            runner.run_suite(["countdown.main", "999.specrand"])
+
+    def test_execute_batch_mixes_configs_in_one_batch(self):
+        """The batch primitive carries a config per item, so one call can
+        execute the same benchmark under different configs."""
+        backend = SerialBackend()
+        cold = QUICK_CONFIG
+        hot = RunConfig(duration_ticks=cold.duration_ticks // 2,
+                        settle_ticks=cold.settle_ticks)
+        seen = []
+        results = backend.execute_batch(
+            [("countdown.main", cold), ("countdown.main", hot)],
+            lambda i, secs, res: seen.append(i),
+        )
+        assert sorted(seen) == [0, 1]
+        assert results[0].duration_ticks == cold.duration_ticks
+        assert results[1].duration_ticks == hot.duration_ticks
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,27 @@ def test_run_config_scaled():
     assert cfg.duration_ticks == 1_000  # frozen original
 
 
+def test_run_config_scaled_clamps_to_one_tick():
+    cfg = RunConfig(duration_ticks=1_000)
+    # int() truncation used to produce a degenerate zero-tick window.
+    assert cfg.scaled(1e-9).duration_ticks == 1
+    assert cfg.scaled(0.0).duration_ticks == 1
+    assert RunConfig(duration_ticks=3).scaled(0.5).duration_ticks == 1
+
+
+def test_run_config_from_json_rejects_degenerate_windows():
+    from repro.errors import ConfigError
+
+    good = RunConfig().to_json_dict()
+    for field, bad in (("duration_ticks", 0), ("duration_ticks", -5),
+                       ("settle_ticks", -1)):
+        raw = dict(good)
+        raw[field] = bad
+        with pytest.raises(ConfigError):
+            RunConfig.from_json_dict(raw)
+    assert RunConfig.from_json_dict(good) == RunConfig()
+
+
 def test_quick_config_sane():
     assert QUICK_CONFIG.duration_ticks > 0
     assert QUICK_CONFIG.settle_ticks > 0
