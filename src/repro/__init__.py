@@ -32,6 +32,7 @@ from repro.core import (
     AGAVE_IDS,
     FIGURE_ORDER,
     SPEC_IDS,
+    AsyncBackend,
     BenchmarkSpec,
     ExecutionBackend,
     ProcessPoolBackend,
@@ -57,6 +58,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AGAVE_IDS",
+    "AsyncBackend",
     "BenchmarkSpec",
     "Calibration",
     "ExecutionBackend",

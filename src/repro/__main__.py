@@ -7,15 +7,20 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro suite --out suite.json --jobs 4 --progress
     python -m repro suite --shard 1/2 --cache .agave-cache --out shard1.json
     python -m repro sweep --axis jit=on,off --axis seed=1,2 --jobs 4
+    python -m repro sweep --axis seed=1,2 --shard 2/2 --out shard2.json
     python -m repro figures --results suite.json --figure 1
     python -m repro table1 --results suite.json
     python -m repro claims --cache .agave-cache
     python -m repro cache stats .agave-cache
+    python -m repro cache gc .agave-cache --max-bytes 50000000
 
 Execution flags (``--jobs``, ``--backend``, ``--cache``, ``--progress``)
-apply wherever benchmarks may actually run: ``suite`` and any artifact
-command invoked without ``--results``.  ``--shard`` is ``suite``-only —
-figures/tables/claims over a partial suite would be silently wrong.
+apply wherever benchmarks may actually run: ``suite``, ``sweep``, and
+any artifact command invoked without ``--results``.  ``--backend async``
+overlaps result I/O (cache writes, progress) with in-flight
+simulations.  ``--shard`` is for ``suite`` and ``sweep`` only — their
+outputs can be merged back together — never for figures/tables/claims,
+which over a partial suite would be silently wrong.
 """
 
 from __future__ import annotations
@@ -72,10 +77,10 @@ def _add_exec_flags(
 ) -> None:
     """Execution-backend knobs, shared by every command that may run.
 
-    ``--shard`` is only offered where a partial suite is meaningful
-    (``suite``, whose output files can be merged); artifact commands
-    would silently draw paper-level conclusions from a fraction of the
-    benchmarks.
+    ``--shard`` is only offered where a partial result is meaningful
+    (``suite`` and ``sweep``, whose output files can be merged);
+    artifact commands would silently draw paper-level conclusions from
+    a fraction of the benchmarks.
     """
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (N>1 implies --backend process)")
@@ -176,7 +181,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ids = args.bench or [spec.bench_id for spec in benchmarks()]
     spec = SweepSpec(benches=tuple(ids), axes=axes, base=_config(args))
     runner = SweepRunner(
-        backend=make_backend(args.backend, jobs=args.jobs),
+        backend=make_backend(args.backend, jobs=args.jobs,
+                             shard=getattr(args, "shard", None)),
         cache=ResultCache(args.cache) if args.cache else None,
     )
     result = runner.run(
@@ -207,6 +213,23 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"bytes:   {stats.total_bytes:,}")
     print(f"hits:    {stats.hits}")
     print(f"misses:  {stats.misses}")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    # Like stats: a GC of a mistyped path must error, not mint an empty
+    # directory and report a successful no-op.
+    if not os.path.isdir(args.dir):
+        raise ConfigError(f"no cache directory at {args.dir!r}")
+    if args.max_bytes is None and args.max_age is None:
+        raise ConfigError("cache gc needs --max-bytes and/or --max-age")
+    cache = ResultCache(args.dir)
+    report = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+    print(f"cache:   {cache.root}")
+    print(f"evicted: {report.removed_entries} entries "
+          f"({report.removed_bytes:,} bytes)")
+    print(f"kept:    {report.kept_entries} entries "
+          f"({report.kept_bytes:,} bytes)")
     return 0
 
 
@@ -282,7 +305,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--metric", choices=sorted(METRICS),
                          default="total_refs",
                          help="metric shown in the per-axis delta tables")
-    _add_exec_flags(p_sweep)
+    _add_exec_flags(p_sweep, sharding=True)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
@@ -293,6 +316,16 @@ def make_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("dir", metavar="DIR",
                          help="cache directory (as passed to --cache)")
     p_stats.set_defaults(func=cmd_cache_stats)
+    p_gc = cache_sub.add_parser(
+        "gc", help="evict cached runs oldest-first to fit size/age bounds"
+    )
+    p_gc.add_argument("dir", metavar="DIR",
+                      help="cache directory (as passed to --cache)")
+    p_gc.add_argument("--max-bytes", type=int, metavar="N",
+                      help="evict oldest entries until the cache fits N bytes")
+    p_gc.add_argument("--max-age", type=float, metavar="SECONDS",
+                      help="evict entries last written more than SECONDS ago")
+    p_gc.set_defaults(func=cmd_cache_gc)
 
     for name, func, extra in (
         ("figures", cmd_figures, True),

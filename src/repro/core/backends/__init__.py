@@ -5,19 +5,24 @@ result assembly); a backend decides *how* the cache misses execute:
 
 - :class:`SerialBackend` — in-process, one at a time (default).
 - :class:`ProcessPoolBackend` — fan out across worker processes.
+- :class:`AsyncBackend` — a process pool fed from a streaming
+  orchestrator with a bounded in-flight window; result I/O (cache
+  writes, progress) overlaps in-flight simulations.
 - :class:`ShardedBackend` — deterministic K-of-N partition, wrapping
-  either of the above, for CI/fleet splits.
+  any of the above, for CI/fleet splits.
 
 ``make_backend`` builds one from CLI-shaped arguments.
 """
 
 from __future__ import annotations
 
+from repro.core.backends.async_ import AsyncBackend
 from repro.core.backends.base import (
     BackendError,
     BatchProgress,
     ExecutionBackend,
     ProgressCallback,
+    StreamingBackend,
     WorkItem,
 )
 from repro.core.backends.process import ProcessPoolBackend
@@ -25,19 +30,25 @@ from repro.core.backends.serial import SerialBackend
 from repro.core.backends.sharded import ShardedBackend, parse_shard, shard_ids
 
 #: CLI names of the selectable leaf backends.
-BACKEND_NAMES: tuple[str, ...] = (SerialBackend.name, ProcessPoolBackend.name)
+BACKEND_NAMES: tuple[str, ...] = (
+    SerialBackend.name,
+    ProcessPoolBackend.name,
+    AsyncBackend.name,
+)
 
 
 def make_backend(
     name: str | None = None,
     jobs: int = 1,
     shard: "str | tuple[int, int] | None" = None,
+    window: int | None = None,
 ) -> ExecutionBackend:
     """Build a backend from CLI-shaped knobs.
 
     *name* of ``None`` picks serial unless ``jobs > 1``.  A *shard* spec
     (``"K/N"`` or ``(k, n)``) wraps the leaf backend in a
-    :class:`ShardedBackend`.
+    :class:`ShardedBackend`.  *window* bounds the async backend's
+    in-flight units (ignored by the others; default ``2 * jobs``).
     """
     if name is None:
         name = ProcessPoolBackend.name if jobs > 1 else SerialBackend.name
@@ -45,6 +56,8 @@ def make_backend(
         backend: ExecutionBackend = SerialBackend()
     elif name == ProcessPoolBackend.name:
         backend = ProcessPoolBackend(jobs=max(jobs, 1))
+    elif name == AsyncBackend.name:
+        backend = AsyncBackend(jobs=max(jobs, 1), window=window)
     else:
         raise BackendError(
             f"unknown backend {name!r}; known: {', '.join(BACKEND_NAMES)}"
@@ -57,6 +70,7 @@ def make_backend(
 
 __all__ = [
     "BACKEND_NAMES",
+    "AsyncBackend",
     "BackendError",
     "BatchProgress",
     "ExecutionBackend",
@@ -64,6 +78,7 @@ __all__ = [
     "ProgressCallback",
     "SerialBackend",
     "ShardedBackend",
+    "StreamingBackend",
     "WorkItem",
     "make_backend",
     "parse_shard",

@@ -1,0 +1,172 @@
+"""Asynchronous (overlapped-I/O) execution: a streaming orchestrator
+feeding a process pool.
+
+:class:`~repro.core.backends.process.ProcessPoolBackend` already runs
+simulations in parallel, but its orchestration is synchronous: the whole
+batch is materialised up front, and completion handling — result
+deserialisation, cache writes, progress printing — runs on the calling
+thread between ``wait()`` wake-ups, in line with dispatch.  The async
+backend overlaps the two.  The calling thread streams work items into a
+bounded in-flight *window* (capping queued-result memory no matter how
+large the batch), while a dedicated completion thread drains finished
+futures as they complete and invokes ``on_result`` — so cache writes and
+progress I/O for finished units happen while later units are still
+simulating, and, through :class:`~repro.core.backends.base.StreamingBackend`,
+cache *lookups* for later units ride the stream instead of blocking the
+first submission.
+
+Determinism is unchanged: results are reassembled by submission index,
+so the output is byte-identical to
+:class:`~repro.core.backends.serial.SerialBackend` regardless of
+completion order, window size, or job count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
+
+from repro.core.backends.base import (
+    BackendError,
+    BatchProgress,
+    ProgressCallback,
+    execute_single_config,
+)
+from repro.core.backends.process import _timed_worker
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult
+    from repro.core.runner import RunConfig
+
+_T = TypeVar("_T")
+
+
+class AsyncBackend:
+    """Feeds a process pool from the calling thread while a completion
+    thread handles results as they finish (as-completed streaming, not
+    ordered blocking).
+
+    *window* bounds how many units may be in flight at once — submitted
+    to the pool but not yet fully completed, stored, and reported.  The
+    calling thread blocks on that bound, which is also the backpressure
+    that paces streamed cache lookups.  ``on_result`` is invoked from
+    the completion thread, exactly once per unit, indexed by submission
+    order; invocations are serialised (one completion thread), but they
+    are concurrent with the *calling* thread, so callbacks shared with
+    it must synchronise — :func:`~repro.core.runner.execute_with_cache`
+    does.
+    """
+
+    name = "async"
+
+    def __init__(self, jobs: int = 2, window: int | None = None) -> None:
+        if jobs < 1:
+            raise BackendError(f"async backend needs jobs >= 1, got {jobs}")
+        if window is None:
+            window = 2 * jobs
+        if window < 1:
+            raise BackendError(
+                f"async backend needs window >= 1, got {window}"
+            )
+        self.jobs = jobs
+        self.window = window
+        #: Bench ids actually simulated, in *completion* order (the only
+        #: order this backend has; tests count real work with it).
+        self.executed: list[str] = []
+
+    def plan(self, bench_ids: Sequence[str]) -> list[str]:
+        return list(bench_ids)
+
+    def plan_batch(self, items: Sequence[_T]) -> list[_T]:
+        return list(items)
+
+    def execute(
+        self,
+        bench_ids: Sequence[str],
+        cfg: "RunConfig",
+        on_result: ProgressCallback | None = None,
+    ) -> "list[RunResult]":
+        return execute_single_config(self, bench_ids, cfg, on_result)
+
+    def execute_batch(
+        self,
+        items: "Sequence[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        return self.execute_stream(iter(items), on_result)
+
+    def execute_stream(
+        self,
+        items: "Iterable[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        """Consume *items* lazily, keeping at most ``window`` in flight.
+
+        The iterable is pulled from the calling thread (so a generator
+        that probes a cache per item runs its lookups while earlier
+        misses simulate); completions are handled on a dedicated thread.
+        A worker failure stops consumption, waits for in-flight units,
+        and re-raises the original exception.
+        """
+        pulled = iter(items)
+        try:
+            first = next(pulled)
+        except StopIteration:
+            return []
+
+        results: "list[RunResult | None]" = []
+        in_flight = threading.BoundedSemaphore(self.window)
+        failure: list[BaseException] = []
+        stop = threading.Event()
+
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        completer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="async-complete"
+        )
+
+        def complete(index: int, bench_id: str, future) -> None:
+            try:
+                result, elapsed = future.result()
+                results[index] = result
+                self.executed.append(bench_id)
+                if on_result is not None:
+                    on_result(index, elapsed, result)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if not failure:
+                    failure.append(exc)
+                stop.set()
+            finally:
+                in_flight.release()
+
+        submitted = []
+        try:
+            for index, (bench_id, cfg) in enumerate(
+                itertools.chain([first], pulled)
+            ):
+                in_flight.acquire()
+                if stop.is_set():
+                    in_flight.release()
+                    break
+                results.append(None)
+                future = pool.submit(_timed_worker, bench_id, cfg)
+                submitted.append(future)
+                future.add_done_callback(
+                    lambda fut, i=index, bid=bench_id: completer.submit(
+                        complete, i, bid, fut
+                    )
+                )
+        finally:
+            if stop.is_set():
+                for future in submitted:
+                    future.cancel()
+            # Shutdown order matters: the pool first (so every done
+            # callback has handed its future to the completer), then the
+            # completer (so every completion has run to the end).
+            pool.shutdown(wait=True)
+            completer.shutdown(wait=True)
+
+        if failure:
+            raise failure[0]
+        return [r for r in results if r is not None]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Iterable,
     Protocol,
     Sequence,
     Tuple,
@@ -133,4 +134,28 @@ class ExecutionBackend(Protocol):
         on_result: BatchProgress | None = None,
     ) -> "list[RunResult]":
         """Run every ``(bench_id, config)`` item, in submission order."""
+        ...
+
+
+@runtime_checkable
+class StreamingBackend(ExecutionBackend, Protocol):
+    """A backend that can consume its batch lazily (optional capability).
+
+    ``execute_stream`` accepts an *iterable* of work items and may begin
+    executing early items while the iterable is still producing later
+    ones — the hook :func:`~repro.core.runner.execute_with_cache` uses
+    to overlap per-unit cache lookups with in-flight simulation.  The
+    ``on_result`` index is the item's *consumption* order (the position
+    at which the backend pulled it from the iterable), results come back
+    in that same order, and — unlike the batch methods — ``on_result``
+    may be invoked concurrently with the calling thread, so shared
+    callbacks must synchronise.
+    """
+
+    def execute_stream(
+        self,
+        items: "Iterable[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        """Run every streamed item, results in consumption order."""
         ...

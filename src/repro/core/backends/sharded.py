@@ -8,7 +8,7 @@ input (order preserved within each shard).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence, TypeVar
+from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
 
 from repro.core.backends.base import (
     BackendError,
@@ -105,3 +105,19 @@ class ShardedBackend:
         on_result: BatchProgress | None = None,
     ) -> "list[RunResult]":
         return self.inner.execute_batch(items, on_result)
+
+    def execute_stream(
+        self,
+        items: "Iterable[tuple[str, RunConfig]]",
+        on_result: BatchProgress | None = None,
+    ) -> "list[RunResult]":
+        """Stream through the inner backend when it can, else materialise.
+
+        Sharding itself happened in :meth:`plan_batch` — by the time a
+        stream reaches execution, the items are already this shard's —
+        so streaming is purely the inner backend's concern.
+        """
+        inner_stream = getattr(self.inner, "execute_stream", None)
+        if inner_stream is not None:
+            return inner_stream(items, on_result)
+        return self.inner.execute_batch(list(items), on_result)

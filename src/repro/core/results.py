@@ -17,6 +17,7 @@ import hashlib
 import json
 import os
 import re
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
@@ -256,6 +257,18 @@ class SuiteResult:
 
 
 @dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`ResultCache.gc` pass evicted and kept."""
+
+    #: Entries removed, and the bytes they occupied.
+    removed_entries: int
+    removed_bytes: int
+    #: Entries surviving the pass, and the bytes they occupy.
+    kept_entries: int
+    kept_bytes: int
+
+
+@dataclass(frozen=True)
 class CacheStats:
     """A snapshot of one cache directory's health."""
 
@@ -358,11 +371,17 @@ class ResultCache:
     # Hygiene + stats
 
     def _entry_names(self) -> list[str]:
-        """Stored run entries (hex-keyed ``.json`` files only)."""
+        """Stored run entries (hex-keyed ``.json`` files only).
+
+        The strict name match matters: :meth:`gc` destructively unlinks
+        these, so a foreign ``*.json`` a user parked in the directory
+        (``suite --out cache/suite.json``) must never be counted as an
+        entry, let alone evicted.
+        """
         return [
             name
             for name in os.listdir(self.root)
-            if name.endswith(".json") and not name.startswith("_")
+            if _ENTRY_NAME.fullmatch(name)
         ]
 
     @staticmethod
@@ -396,6 +415,69 @@ class ResultCache:
                 os.unlink(os.path.join(self.root, name))
                 removed += 1
         return removed
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> GcReport:
+        """Evict run entries oldest-first until the cache fits the bounds.
+
+        *max_age* (seconds) drops every entry whose modification time is
+        older than ``now - max_age``; *max_bytes* then evicts oldest-first
+        until the survivors fit the budget.  Eviction order is mtime
+        ascending with the entry name as tie-break, so repeated passes
+        evict deterministically.  Only run entries (hex-keyed ``.json``
+        files) are candidates: the stats file (hit/miss counters survive
+        a GC pass), in-flight tmp files, and foreign files parked in the
+        directory are never touched.  An entry whose unlink fails is
+        reported as kept, and with both bounds ``None`` the pass is a
+        no-op report.
+        """
+        entries: list[tuple[float, str, int]] = []
+        for name in self._entry_names():
+            try:
+                info = os.stat(os.path.join(self.root, name))
+            except OSError:
+                continue
+            entries.append((info.st_mtime, name, info.st_size))
+        entries.sort()
+        if now is None:
+            now = time.time()
+
+        doomed: list[tuple[float, str, int]] = []
+        kept = entries
+        if max_age is not None:
+            cutoff = now - max_age
+            doomed = [e for e in kept if e[0] < cutoff]
+            kept = [e for e in kept if e[0] >= cutoff]
+        if max_bytes is not None:
+            kept_bytes = sum(size for _, _, size in kept)
+            while kept and kept_bytes > max_bytes:
+                oldest = kept.pop(0)
+                doomed.append(oldest)
+                kept_bytes -= oldest[2]
+
+        removed_entries = removed_bytes = 0
+        survivors = list(kept)
+        for entry in doomed:
+            _, name, size = entry
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                # Still on disk (permissions, concurrent replace): report
+                # it as kept, so the caller sees the true directory state.
+                survivors.append(entry)
+                continue
+            removed_entries += 1
+            removed_bytes += size
+        return GcReport(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            kept_entries=len(survivors),
+            kept_bytes=sum(size for _, _, size in survivors),
+        )
 
     def flush_stats(self) -> None:
         """Merge this session's hit/miss counters into the persisted
@@ -443,6 +525,9 @@ class ResultCache:
             misses=persisted["misses"] + self.misses - self._flushed_misses,
         )
 
+
+#: A stored run entry this cache owns: a 64-hex-digit key plus ``.json``.
+_ENTRY_NAME = re.compile(r"[0-9a-f]{64}\.json")
 
 #: In-flight write droppings this cache may own: a hex entry key or the
 #: stats file, then ``.json.tmp.<pid>``.

@@ -16,6 +16,7 @@ delegation to a pluggable :class:`~repro.core.backends.ExecutionBackend`.
 
 from __future__ import annotations
 
+import threading
 import warnings
 import zlib
 from dataclasses import asdict, dataclass, replace
@@ -205,38 +206,73 @@ def execute_with_cache(
 
     The one cache-aware batch orchestration both the suite runner and
     the sweep runner use: per-item cache lookup (hits reported through
-    *progress* with ``elapsed=None``), misses executed as a batch with
-    completed runs stored back, lost results raised as a
+    *progress* with ``elapsed=None``), misses executed with completed
+    runs stored back, lost results raised as a
     :class:`~repro.core.backends.BackendError` naming the matching
     *labels*, and hit/miss counters flushed even on failure.  *units*
     are what *progress* receives for each item (bench ids for suites,
     :class:`~repro.core.sweep.SweepPoint` objects for sweeps).  Returns
     one result per item, in item order.
+
+    A backend advertising ``execute_stream`` (see
+    :class:`~repro.core.backends.StreamingBackend`) is fed lazily: the
+    cache probe for each item happens as the backend pulls it, so
+    lookups for later units overlap simulations already in flight, and
+    cache writes run inside the backend's completion handling (off the
+    critical path for the async backend).  Completion callbacks may then
+    be concurrent with the probing thread, so result recording and
+    *progress* invocations are serialised under a lock — results stay a
+    pure function of ``(bench_id, config)`` either way, byte-identical
+    to the batch path.
     """
     results: "list[RunResult | None]" = [None] * len(items)
     pending: list[int] = []
-    for index, (bench_id, cfg) in enumerate(items):
+    lock = threading.Lock()
+
+    def probe(index: int) -> bool:
+        """Look one item up in the cache; record a hit or mark it pending."""
+        bench_id, cfg = items[index]
         hit = cache.get(bench_id, cfg) if cache is not None else None
-        if hit is not None:
+        if hit is None:
+            pending.append(index)
+            return False
+        with lock:
             results[index] = hit
             if progress is not None:
                 progress(units[index], None, hit)
-        else:
-            pending.append(index)
+        return True
 
     def on_result(batch_index: int, elapsed: float, run: RunResult) -> None:
         index = pending[batch_index]
+        # The cache write happens outside the lock: each key is written
+        # at most once per batch, so puts only ever race the probes of
+        # *other* keys, and keeping file I/O out of the critical section
+        # is the point of the overlapped path.
         if cache is not None:
             bench_id, cfg = items[index]
             cache.put(bench_id, cfg, run)
-        results[index] = run
-        if progress is not None:
-            progress(units[index], elapsed, run)
+        with lock:
+            results[index] = run
+            if progress is not None:
+                progress(units[index], elapsed, run)
+
+    execute_stream = getattr(backend, "execute_stream", None)
+
+    def misses():
+        """Probe lazily, yielding only the items the backend must run."""
+        for index in range(len(items)):
+            if not probe(index):
+                yield items[index]
 
     try:
-        returned = backend.execute_batch(
-            [items[index] for index in pending], on_result
-        )
+        if execute_stream is not None:
+            returned = execute_stream(misses(), on_result)
+        else:
+            for index in range(len(items)):
+                probe(index)
+            returned = backend.execute_batch(
+                [items[index] for index in pending], on_result
+            )
         # Belt and braces: a backend that returns a fully aligned list
         # without driving the callback still yields a complete batch.
         if len(returned) == len(pending):

@@ -416,7 +416,10 @@ class SweepRunner:
     configs, and a sharded backend partitions *points* (not benchmarks).
     A :class:`~repro.core.results.ResultCache` is consulted per point
     with exactly the keying suite runs use, so sweep cells and suite
-    runs share cached results both ways.
+    runs share cached results both ways.  A streaming backend (e.g.
+    :class:`~repro.core.backends.AsyncBackend`) pulls the flattened grid
+    lazily instead, so per-point cache lookups and result writes overlap
+    points still simulating — without changing the result bytes.
     """
 
     def __init__(

@@ -1,0 +1,364 @@
+"""The cross-backend differential matrix.
+
+The contract under test: a run is a pure function of ``(bench_id,
+RunConfig)``, so the same suite or sweep serialises to byte-identical
+JSON through every execution path — serial, process pool, sharded shards
+merged back together, and the async overlapped-I/O backend — whether the
+cache is cold, partially warmed, or fully pre-warmed.  Completion order
+is backend-specific and explicitly *not* part of the contract, so the
+matrix also pins the progress protocol: out-of-order completion must
+still report index-correct units, and cache hits must report
+``elapsed=None`` no matter which thread delivers them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import (
+    AsyncBackend,
+    ProcessPoolBackend,
+    ResultCache,
+    RunConfig,
+    SerialBackend,
+    ShardedBackend,
+    SuiteResult,
+    SuiteRunner,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.core.runner import execute_one
+from repro.sim.ticks import millis
+
+FAST = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200))
+SUITE_IDS = ["countdown.main", "music.mp3.view", "999.specrand"]
+#: A multi-axis grid: 2 benchmarks x (jit on/off) x (seed 1/2) = 8 cells.
+SWEEP_SPEC = SweepSpec(
+    benches=("countdown.main", "999.specrand"),
+    axes=(SweepAxis("jit", (True, False)), SweepAxis("seed", (1, 2))),
+    base=FAST,
+)
+
+BACKENDS = ("serial", "process", "async")
+WARMTH = ("cold", "partial", "prewarmed")
+
+
+def _make(name: str):
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(jobs=2)
+    if name == "async":
+        return AsyncBackend(jobs=2, window=3)
+    raise AssertionError(name)
+
+
+def _suite_bytes(suite: SuiteResult, path) -> bytes:
+    suite.save(str(path))
+    return path.read_bytes()
+
+
+def _sweep_bytes(sweep, path) -> bytes:
+    sweep.save(str(path))
+    return path.read_bytes()
+
+
+def _warm_suite_cache(tmp_path, warmth: str) -> str | None:
+    """A cache directory in the requested warmth state (None = no cache)."""
+    if warmth == "cold":
+        return None
+    root = str(tmp_path / "cache")
+    ids = SUITE_IDS if warmth == "prewarmed" else SUITE_IDS[:1]
+    SuiteRunner(FAST, cache=ResultCache(root)).run_suite(ids)
+    return root
+
+
+def _warm_sweep_cache(tmp_path, warmth: str) -> str | None:
+    if warmth == "cold":
+        return None
+    root = str(tmp_path / "cache")
+    spec = SWEEP_SPEC if warmth == "prewarmed" else SweepSpec(
+        benches=("countdown.main",), axes=SWEEP_SPEC.axes, base=FAST
+    )
+    SweepRunner(cache=ResultCache(root)).run(spec)
+    return root
+
+
+@pytest.fixture(scope="module")
+def serial_suite_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's saved SuiteResult."""
+    suite = SuiteRunner(FAST, backend=SerialBackend()).run_suite(SUITE_IDS)
+    return _suite_bytes(suite, tmp_path_factory.mktemp("ref") / "suite.json")
+
+
+@pytest.fixture(scope="module")
+def serial_sweep_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's saved SweepResult."""
+    sweep = SweepRunner(backend=SerialBackend()).run(SWEEP_SPEC)
+    return _sweep_bytes(sweep, tmp_path_factory.mktemp("ref") / "sweep.json")
+
+
+# ----------------------------------------------------------------------
+# (a) Suite matrix
+
+
+class TestSuiteMatrix:
+    @pytest.mark.parametrize("warmth", WARMTH)
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_byte_identical_across_backends_and_cache_states(
+        self, name, warmth, serial_suite_bytes, tmp_path
+    ):
+        cache_dir = _warm_suite_cache(tmp_path, warmth)
+        backend = _make(name)
+        suite = SuiteRunner(
+            FAST,
+            backend=backend,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        ).run_suite(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == serial_suite_bytes
+        if warmth == "prewarmed":
+            assert backend.executed == []        # zero redundant simulations
+        elif warmth == "partial":
+            assert sorted(backend.executed) == sorted(SUITE_IDS[1:])
+
+    @pytest.mark.parametrize("inner", ("serial", "async"))
+    def test_sharded_shards_merge_byte_identical(
+        self, inner, serial_suite_bytes, tmp_path
+    ):
+        parts = [
+            SuiteRunner(
+                FAST, backend=ShardedBackend(k, 2, inner=_make(inner))
+            ).run_suite(SUITE_IDS)
+            for k in (1, 2)
+        ]
+        merged = SuiteResult()
+        for bench_id in SUITE_IDS:               # canonical suite order
+            for part in parts:
+                if bench_id in part.runs:
+                    merged.add(part.runs[bench_id])
+        assert _suite_bytes(merged, tmp_path / "out.json") == serial_suite_bytes
+
+
+# ----------------------------------------------------------------------
+# (b) Sweep matrix
+
+
+class TestSweepMatrix:
+    @pytest.mark.parametrize("warmth", WARMTH)
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_byte_identical_across_backends_and_cache_states(
+        self, name, warmth, serial_sweep_bytes, tmp_path
+    ):
+        cache_dir = _warm_sweep_cache(tmp_path, warmth)
+        backend = _make(name)
+        sweep = SweepRunner(
+            backend=backend,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        ).run(SWEEP_SPEC)
+        assert _sweep_bytes(sweep, tmp_path / "out.json") == serial_sweep_bytes
+        if warmth == "prewarmed":
+            assert backend.executed == []        # zero redundant simulations
+        elif warmth == "partial":
+            # countdown.main's four variants were pre-warmed; only the
+            # other benchmark's cells may simulate.
+            assert backend.executed == ["999.specrand"] * 4
+
+    @pytest.mark.parametrize("inner", ("serial", "async"))
+    def test_sharded_shards_merge_byte_identical(
+        self, inner, serial_sweep_bytes, tmp_path
+    ):
+        shards = [
+            SweepRunner(
+                backend=ShardedBackend(k, 2, inner=_make(inner))
+            ).run(SWEEP_SPEC)
+            for k in (1, 2)
+        ]
+        merged = shards[0]
+        merged.merge(shards[1])
+        assert _sweep_bytes(merged, tmp_path / "out.json") == serial_sweep_bytes
+
+
+# ----------------------------------------------------------------------
+# (c) Full-suite acceptance: async vs serial over all 25 benchmarks
+
+
+class TestFullSuite:
+    def test_async_full_suite_byte_identical_to_serial(self, tmp_path):
+        serial = SuiteRunner(FAST, backend=SerialBackend()).run_suite()
+        overlapped = SuiteRunner(
+            FAST, backend=AsyncBackend(jobs=4, window=6)
+        ).run_suite()
+        assert _suite_bytes(overlapped, tmp_path / "a.json") == _suite_bytes(
+            serial, tmp_path / "s.json"
+        )
+
+
+# ----------------------------------------------------------------------
+# (d) BatchProgress ordering under out-of-order completion
+
+
+class ReversingBackend(SerialBackend):
+    """Reports completions in *reverse* submission order — a deterministic
+    stand-in for a pool's arbitrary completion order."""
+
+    name = "reversing"
+
+    def execute_batch(self, items, on_result=None):
+        batch = list(items)
+        runs = []
+        for bench_id, cfg in batch:
+            runs.append(execute_one(bench_id, cfg))
+            self.executed.append(bench_id)
+        if on_result is not None:
+            for index in reversed(range(len(batch))):
+                on_result(index, 0.25, runs[index])
+        return runs
+
+
+class TestProgressOrdering:
+    def test_reversed_completion_reports_index_correct_units(self, tmp_path):
+        """With the first benchmark pre-warmed and the backend completing
+        backwards, every progress event must still pair the right unit
+        with the right result, hits flagged ``elapsed=None``."""
+        root = str(tmp_path / "cache")
+        SuiteRunner(FAST, cache=ResultCache(root)).run_suite(SUITE_IDS[:1])
+
+        events = []
+        suite = SuiteRunner(
+            FAST, backend=ReversingBackend(), cache=ResultCache(root)
+        ).run_suite(
+            SUITE_IDS,
+            progress=lambda bid, secs, res: events.append((bid, secs, res)),
+        )
+        assert sorted(bid for bid, _, _ in events) == sorted(SUITE_IDS)
+        assert all(bid == res.bench_id for bid, _, res in events)
+        elapsed = dict((bid, secs) for bid, secs, _ in events)
+        assert elapsed[SUITE_IDS[0]] is None          # the cache hit
+        assert all(elapsed[bid] == 0.25 for bid in SUITE_IDS[1:])
+        assert suite.ids() == SUITE_IDS               # results in item order
+
+    def test_reversed_completion_sweep_matches_serial_bytes(
+        self, serial_sweep_bytes, tmp_path
+    ):
+        sweep = SweepRunner(backend=ReversingBackend()).run(SWEEP_SPEC)
+        assert _sweep_bytes(sweep, tmp_path / "out.json") == serial_sweep_bytes
+
+    def test_async_progress_indices_address_submission_order(self):
+        """The async backend completes in arbitrary order; its on_result
+        index must always address the submitted batch position."""
+        items = [
+            ("countdown.main", FAST),
+            ("999.specrand", FAST),
+            ("countdown.main", FAST.scaled(0.5)),
+        ]
+        seen = []
+        results = AsyncBackend(jobs=2, window=2).execute_batch(
+            items, lambda i, secs, res: seen.append((i, res.bench_id))
+        )
+        assert sorted(i for i, _ in seen) == [0, 1, 2]
+        assert all(bid == items[i][0] for i, bid in seen)
+        assert [r.bench_id for r in results] == [b for b, _ in items]
+        assert results[2].duration_ticks == FAST.scaled(0.5).duration_ticks
+
+    def test_async_completions_run_off_the_calling_thread(self):
+        """The overlap mechanism itself: on_result runs on the completion
+        thread, not the thread that called execute_batch."""
+        caller = threading.get_ident()
+        threads = set()
+        AsyncBackend(jobs=2).execute_batch(
+            [("countdown.main", FAST), ("999.specrand", FAST)],
+            lambda i, secs, res: threads.add(threading.get_ident()),
+        )
+        assert threads and caller not in threads
+
+    def test_async_warm_hits_report_none_elapsed(self, tmp_path):
+        """Cache hits keep the elapsed=None convention even when misses
+        complete concurrently on the async path."""
+        root = str(tmp_path / "cache")
+        SuiteRunner(FAST, cache=ResultCache(root)).run_suite(SUITE_IDS[:2])
+        events = []
+        SuiteRunner(
+            FAST, backend=AsyncBackend(jobs=2), cache=ResultCache(root)
+        ).run_suite(
+            SUITE_IDS,
+            progress=lambda bid, secs, res: events.append((bid, secs)),
+        )
+        elapsed = dict(events)
+        assert len(events) == len(SUITE_IDS)
+        assert elapsed[SUITE_IDS[0]] is None and elapsed[SUITE_IDS[1]] is None
+        assert elapsed[SUITE_IDS[2]] is not None      # the one real run
+
+
+# ----------------------------------------------------------------------
+# (e) Streaming: lookups/writes ride the stream, off the critical path
+
+
+class PullOneBackend(SerialBackend):
+    """Executes each streamed item the moment it is pulled, exposing the
+    interleaving of cache probes with execution."""
+
+    name = "pull-one"
+
+    def execute_stream(self, items, on_result=None):
+        out = []
+        for index, (bench_id, cfg) in enumerate(items):
+            run = execute_one(bench_id, cfg)
+            self.executed.append(bench_id)
+            if on_result is not None:
+                on_result(index, 0.1, run)
+            out.append(run)
+        return out
+
+
+class TestStreamingOverlap:
+    def test_streamed_lookups_interleave_with_execution(self, tmp_path):
+        """Through a streaming backend, the cache probe for a later unit
+        happens *after* earlier units already executed — lookups ride the
+        stream instead of blocking the first submission."""
+        events = []
+
+        class RecordingCache(ResultCache):
+            def get(self, bench_id, cfg):
+                events.append(("get", bench_id))
+                return super().get(bench_id, cfg)
+
+            def put(self, bench_id, cfg, result):
+                events.append(("put", bench_id))
+                super().put(bench_id, cfg, result)
+
+        ids = SUITE_IDS[:2]
+        SuiteRunner(
+            FAST, backend=PullOneBackend(),
+            cache=RecordingCache(str(tmp_path / "cache")),
+        ).run_suite(ids)
+        assert events == [
+            ("get", ids[0]), ("put", ids[0]),
+            ("get", ids[1]), ("put", ids[1]),
+        ]
+
+    def test_batch_backends_probe_up_front(self, tmp_path):
+        """The non-streaming path keeps its original shape: all lookups
+        first, then the batch."""
+        events = []
+
+        class RecordingCache(ResultCache):
+            def get(self, bench_id, cfg):
+                events.append(("get", bench_id))
+                return super().get(bench_id, cfg)
+
+            def put(self, bench_id, cfg, result):
+                events.append(("put", bench_id))
+                super().put(bench_id, cfg, result)
+
+        ids = SUITE_IDS[:2]
+        SuiteRunner(
+            FAST, backend=SerialBackend(),
+            cache=RecordingCache(str(tmp_path / "cache")),
+        ).run_suite(ids)
+        assert events == [
+            ("get", ids[0]), ("get", ids[1]),
+            ("put", ids[0]), ("put", ids[1]),
+        ]

@@ -17,6 +17,7 @@ from repro.calibration import Calibration
 from repro.core import (
     FIGURE_ORDER,
     QUICK_CONFIG,
+    AsyncBackend,
     BackendError,
     ProcessPoolBackend,
     ResultCache,
@@ -28,6 +29,7 @@ from repro.core import (
     parse_shard,
     shard_ids,
 )
+from repro.errors import WorkloadError
 
 SUBSET = ["countdown.main", "music.mp3.view", "401.bzip2", "999.specrand"]
 
@@ -134,6 +136,54 @@ class TestSharding:
 
 
 # ----------------------------------------------------------------------
+# (b2) Async backend plumbing (cross-backend equivalence lives in
+# test_backend_equivalence.py)
+
+
+class TestAsyncBackend:
+    def test_rejects_bad_jobs_and_window(self):
+        with pytest.raises(BackendError):
+            AsyncBackend(jobs=0)
+        with pytest.raises(BackendError):
+            AsyncBackend(jobs=2, window=0)
+
+    def test_window_defaults_to_twice_jobs(self):
+        assert AsyncBackend(jobs=3).window == 6
+        assert AsyncBackend(jobs=2, window=5).window == 5
+
+    def test_empty_batch_is_a_noop(self):
+        backend = AsyncBackend(jobs=2)
+        assert backend.execute_batch([]) == []
+        assert backend.executed == []
+
+    def test_tight_window_still_completes_in_order(self):
+        backend = AsyncBackend(jobs=1, window=1)
+        runner = SuiteRunner(QUICK_CONFIG, backend=backend)
+        assert runner.run_suite(SUBSET[:3]).ids() == SUBSET[:3]
+
+    def test_worker_failure_propagates_and_stops_the_stream(self):
+        backend = AsyncBackend(jobs=1, window=1)
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            backend.execute_batch(
+                [("no.such.bench", QUICK_CONFIG)]
+                + [("countdown.main", QUICK_CONFIG)] * 8
+            )
+        # The bounded window plus the failure stop keep most of the tail
+        # from ever being submitted.
+        assert len(backend.executed) < 8
+
+    def test_executed_tracks_only_real_simulations(self, tmp_path):
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:1]
+        )
+        backend = AsyncBackend(jobs=2)
+        SuiteRunner(
+            QUICK_CONFIG, backend=backend, cache=ResultCache(str(tmp_path))
+        ).run_suite(SUBSET[:2])
+        assert backend.executed == [SUBSET[1]]
+
+
+# ----------------------------------------------------------------------
 # (c) Result cache
 
 
@@ -235,6 +285,125 @@ class TestResultCache:
 
 
 # ----------------------------------------------------------------------
+# (c2) Cache GC
+
+
+def _plant_entry(cache: ResultCache, bench_id: str, mtime: float,
+                 pad: int = 0) -> str:
+    """Store a fabricated run and backdate its file to *mtime*."""
+    from repro.core import RunResult
+
+    run = RunResult(bench_id=bench_id, benchmark_comm=bench_id,
+                    duration_ticks=1, seed=0,
+                    instr_by_region={"binary": 1},
+                    meta={"pad": "x" * pad})
+    cache.put(bench_id, QUICK_CONFIG, run)
+    path = os.path.join(cache.root, ResultCache.key(bench_id, QUICK_CONFIG)
+                        + ".json")
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestCacheGc:
+    def test_max_age_evicts_only_the_old(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        old = _plant_entry(cache, "countdown.main", mtime=100.0)
+        new = _plant_entry(cache, "999.specrand", mtime=280.0)
+        report = cache.gc(max_age=50.0, now=300.0)
+        assert not os.path.exists(old) and os.path.exists(new)
+        assert report.removed_entries == 1 and report.kept_entries == 1
+        assert report.removed_bytes > 0
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        paths = [
+            _plant_entry(cache, bid, mtime=float(100 * (i + 1)))
+            for i, bid in enumerate(
+                ["countdown.main", "999.specrand", "401.bzip2"]
+            )
+        ]
+        newest_size = os.path.getsize(paths[2])
+        report = cache.gc(max_bytes=newest_size + 1)
+        # Evicted in mtime order until the newest alone fits.
+        assert not os.path.exists(paths[0])
+        assert not os.path.exists(paths[1])
+        assert os.path.exists(paths[2])
+        assert report.removed_entries == 2 and report.kept_entries == 1
+        assert report.kept_bytes == newest_size
+
+    def test_both_bounds_compose(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        _plant_entry(cache, "countdown.main", mtime=10.0)
+        _plant_entry(cache, "999.specrand", mtime=200.0)
+        _plant_entry(cache, "401.bzip2", mtime=290.0)
+        report = cache.gc(max_bytes=0, max_age=150.0, now=300.0)
+        assert report.removed_entries == 3 and report.kept_entries == 0
+        assert len(cache) == 0
+
+    def test_no_bounds_is_a_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        _plant_entry(cache, "countdown.main", mtime=1.0)
+        report = cache.gc()
+        assert report.removed_entries == 0 and report.kept_entries == 1
+        assert len(cache) == 1
+
+    def test_gc_preserves_stats_and_foreign_files(self, tmp_path):
+        """Eviction removes run entries only: the persisted hit/miss
+        counters and files the cache does not own survive untouched."""
+        runner = SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path)))
+        runner.run_suite(SUBSET[:2])
+        SuiteRunner(QUICK_CONFIG, cache=ResultCache(str(tmp_path))).run_suite(
+            SUBSET[:2]
+        )  # two hits, persisted on flush
+        foreign = tmp_path / "notes.txt"
+        foreign.write_text("mine")
+        # A user parking a results file in the cache dir must never see
+        # gc eat it — .json alone does not make a file a cache entry.
+        parked = tmp_path / "suite.json"
+        parked.write_text("{}")
+
+        cache = ResultCache(str(tmp_path))
+        assert len(cache) == 2                         # parked not counted
+        report = cache.gc(max_bytes=0)
+        assert report.removed_entries == 2
+        stats = cache.stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        assert stats.hits == 2 and stats.misses == 2   # counters survive
+        assert foreign.exists()
+        assert parked.exists()
+        assert (tmp_path / ResultCache.STATS_FILE).exists()
+
+    def test_failed_unlink_is_reported_as_kept(self, tmp_path, monkeypatch):
+        """An entry gc cannot delete is still on disk, so the report must
+        count it as kept — never as removed, never as vanished."""
+        cache = ResultCache(str(tmp_path))
+        stuck = _plant_entry(cache, "countdown.main", mtime=10.0)
+        gone = _plant_entry(cache, "999.specrand", mtime=20.0)
+        real_unlink = os.unlink
+
+        def unlink(path, *args, **kwargs):
+            if path == stuck:
+                raise OSError("device busy")
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", unlink)
+        report = cache.gc(max_bytes=0)
+        assert report.removed_entries == 1
+        assert report.kept_entries == 1
+        assert report.kept_bytes == os.path.getsize(stuck)
+        assert os.path.exists(stuck) and not os.path.exists(gone)
+
+    def test_evicted_key_is_a_miss_then_heals(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SuiteRunner(QUICK_CONFIG, cache=cache).run_suite(SUBSET[:1])
+        cache.gc(max_bytes=0)
+        runner = SuiteRunner(QUICK_CONFIG, cache=cache)
+        runner.run_suite(SUBSET[:1])
+        assert runner.backend.executed == SUBSET[:1]   # re-simulated
+        assert len(cache) == 1                         # and stored again
+
+
+# ----------------------------------------------------------------------
 # (d) Config / calibration serialisation
 
 
@@ -290,6 +459,15 @@ class TestRunnerOrchestration:
         assert isinstance(sharded.inner, ProcessPoolBackend)
         with pytest.raises(BackendError):
             make_backend("gpu")
+
+    def test_make_backend_async(self):
+        backend = make_backend("async", jobs=3)
+        assert isinstance(backend, AsyncBackend)
+        assert backend.jobs == 3 and backend.window == 6
+        assert make_backend("async", jobs=2, window=9).window == 9
+        sharded = make_backend("async", jobs=2, shard="2/2")
+        assert isinstance(sharded, ShardedBackend)
+        assert isinstance(sharded.inner, AsyncBackend)
 
     def test_process_backend_rejects_zero_jobs(self):
         with pytest.raises(BackendError):
@@ -369,9 +547,54 @@ class TestCli:
 
     def test_artifact_commands_reject_shard(self):
         """Figures/table1/claims over a partial suite would be silently
-        wrong, so --shard is a suite-only flag."""
+        wrong, so --shard stays off them (suite and sweep only)."""
         from repro.__main__ import main
 
         for command in ("figures", "table1", "claims"):
             with pytest.raises(SystemExit):
                 main([command, "--shard", "1/2"])
+
+    def test_suite_async_backend_matches_serial_bytes(self, tmp_path):
+        from repro.__main__ import main
+
+        base = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        a, b = str(tmp_path / "async.json"), str(tmp_path / "serial.json")
+        assert main(base + ["--backend", "async", "--jobs", "2",
+                            "--out", a]) == 0
+        assert main(base + ["--backend", "serial", "--out", b]) == 0
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_cache_gc_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--cache", cache_dir,
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "gc", cache_dir, "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted: 2 entries" in out
+        assert "kept:    0 entries" in out
+
+        assert main(["cache", "stats", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_gc_requires_a_bound_and_an_existing_dir(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "gc", missing, "--max-bytes", "0"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+        assert not (tmp_path / "nope").exists()     # gc stayed read-only
+
+        present = tmp_path / "cache"
+        present.mkdir()
+        assert main(["cache", "gc", str(present)]) == 2
+        assert "--max-bytes and/or --max-age" in capsys.readouterr().err

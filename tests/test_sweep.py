@@ -475,3 +475,31 @@ class TestSweepCli:
                      "--bench", "countdown.main"]) == 0
         out = capsys.readouterr().out
         assert "[base]" in out
+
+    def test_sweep_shard_outputs_merge_to_the_unsharded_run(self, tmp_path):
+        """`sweep --shard K/N` partitions the grid's points; merging the
+        shard files reconstitutes the unsharded output byte-for-byte."""
+        from repro.__main__ import main
+
+        argv = ["--duration", "0.4", "--settle-ms", "200", "sweep",
+                "--axis", "seed=1,2", "--bench", "countdown.main"]
+        full = tmp_path / "full.json"
+        assert main(argv + ["--out", str(full)]) == 0
+        shards = []
+        for k in (1, 2):
+            out = tmp_path / f"shard{k}.json"
+            assert main(argv + ["--shard", f"{k}/2", "--out", str(out)]) == 0
+            shards.append(SweepResult.load(str(out)))
+        assert all(len(s.runs) == 1 for s in shards)    # strict slices
+        merged = shards[0]
+        merged.merge(shards[1])
+        merged_path = tmp_path / "merged.json"
+        merged.save(str(merged_path))
+        assert merged_path.read_bytes() == full.read_bytes()
+
+    def test_sweep_bad_shard_spec_is_a_clean_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--axis", "seed=1,2", "--shard", "3/2",
+                     "--bench", "countdown.main"]) == 2
+        assert "bad shard spec" in capsys.readouterr().err
