@@ -1,0 +1,94 @@
+"""SMP scaling study: how core count changes what the suite observes.
+
+The paper's differentiator from SPEC is thread-level parallelism, and
+this is where the reproduction shows it.  One multithreaded Agave
+workload and one SPEC baseline run at 1, 2 and 4 simulated cores; the
+study reports per-core reference spread, the TLP concurrency metric and
+the busy-interval compression (the same work finishing in a shorter
+busy span as cores are added), then asserts the paper-level shape:
+the Android stack scales, the SPEC binary does not.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core import RunConfig, SuiteRunner
+from repro.sim.ticks import millis
+
+CPU_COUNTS = (1, 2, 4)
+AGAVE_BENCH = "music.mp3.view"
+SPEC_BENCH = "999.specrand"
+BASE = RunConfig(duration_ticks=millis(800), settle_ticks=millis(300))
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    runner = SuiteRunner()
+    runs = {}
+    for bench_id in (AGAVE_BENCH, SPEC_BENCH):
+        for cpus in CPU_COUNTS:
+            cfg = RunConfig(
+                duration_ticks=BASE.duration_ticks,
+                settle_ticks=BASE.settle_ticks,
+                cpus=cpus,
+            )
+            runs[(bench_id, cpus)] = runner.run(bench_id, cfg)
+    return runs
+
+
+def test_smp_scaling(benchmark, scaling, results_dir):
+    def summarise():
+        lines = ["SMP scaling: per-core spread and TLP vs core count"]
+        lines.append(
+            f"{'benchmark':<18} {'cpus':>5} {'TLP':>6} {'top-cpu %':>10} "
+            f"{'busy-union ms':>14} {'refs':>15}"
+        )
+        for bench_id in (AGAVE_BENCH, SPEC_BENCH):
+            for cpus in CPU_COUNTS:
+                run = scaling[(bench_id, cpus)]
+                refs = run.refs_by_cpu()
+                top = max(refs.values()) / sum(refs.values())
+                busy_ms = (
+                    run.any_busy_ticks / 1e6 if cpus > 1 else float("nan")
+                )
+                lines.append(
+                    f"{bench_id:<18} {cpus:>5} {run.tlp():>6.2f} "
+                    f"{100 * top:>10.1f} {busy_ms:>14.2f} "
+                    f"{run.total_refs:>15,}"
+                )
+        return "\n".join(lines) + "\n"
+
+    report = benchmark(summarise)
+    write_artifact(results_dir, "smp_scaling.txt", report)
+    print()
+    print(report)
+
+    # The multithreaded Agave workload spreads across cores: its TLP
+    # rises above serial and more than one core retires references.
+    agave4 = scaling[(AGAVE_BENCH, 4)]
+    assert agave4.tlp() > 1.02
+    assert sum(1 for v in agave4.refs_by_cpu().values() if v > 0) >= 2
+
+    # The SPEC baseline stays essentially serial no matter the cores:
+    # one CPU dominates and TLP hugs 1.
+    spec4 = scaling[(SPEC_BENCH, 4)]
+    refs = spec4.refs_by_cpu()
+    assert max(refs.values()) / sum(refs.values()) > 0.95
+    assert spec4.tlp() < 1.1
+
+    # Core count is a real dimension: the Agave workload's concurrency
+    # grows (or at least its spread changes) between 2 and 4 cores.
+    agave2 = scaling[(AGAVE_BENCH, 2)]
+    assert agave4.refs_by_cpu() != agave2.refs_by_cpu()
+
+
+def test_smp_determinism(benchmark, scaling):
+    """A cpus=4 run is a pure function of (bench_id, config)."""
+    runner = SuiteRunner()
+    cfg = RunConfig(
+        duration_ticks=BASE.duration_ticks,
+        settle_ticks=BASE.settle_ticks,
+        cpus=4,
+    )
+    rerun = benchmark(runner.run, AGAVE_BENCH, cfg)
+    assert rerun.to_json_dict() == scaling[(AGAVE_BENCH, 4)].to_json_dict()

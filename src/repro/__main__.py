@@ -6,21 +6,28 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro run music.mp3.view --duration 4
     python -m repro suite --out suite.json --jobs 4 --progress
     python -m repro suite --shard 1/2 --cache .agave-cache --out shard1.json
+    python -m repro --cpus 4 suite --out suite-smp.json --jobs 4
     python -m repro sweep --axis jit=on,off --axis seed=1,2 --jobs 4
+    python -m repro sweep --axis cpus=1,2,4 --bench music.mp3.view
     python -m repro sweep --axis seed=1,2 --shard 2/2 --out shard2.json
     python -m repro figures --results suite.json --figure 1
     python -m repro table1 --results suite.json
     python -m repro claims --cache .agave-cache
+    python -m repro --cpus 4 smp --cache .agave-cache
     python -m repro cache stats .agave-cache
-    python -m repro cache gc .agave-cache --max-bytes 50000000
+    python -m repro cache gc .agave-cache --max-bytes 50000000 --dry-run
 
-Execution flags (``--jobs``, ``--backend``, ``--cache``, ``--progress``)
-apply wherever benchmarks may actually run: ``suite``, ``sweep``, and
-any artifact command invoked without ``--results``.  ``--backend async``
-overlaps result I/O (cache writes, progress) with in-flight
-simulations.  ``--shard`` is for ``suite`` and ``sweep`` only — their
-outputs can be merged back together — never for figures/tables/claims,
-which over a partial suite would be silently wrong.
+Execution flags (``--jobs``, ``--backend``, ``--window``, ``--cache``,
+``--progress``) apply wherever benchmarks may actually run: ``suite``,
+``sweep``, and any artifact command invoked without ``--results``.
+``--backend async`` overlaps result I/O (cache writes, progress) with
+in-flight simulations; its in-flight window adapts to observed result
+sizes unless pinned with ``--window``.  ``--cpus`` selects the simulated
+core count everywhere (``cpus=1`` stays byte-identical to the pre-SMP
+engine, hitting the same cache keys).  ``--shard`` is for ``suite`` and
+``sweep`` only — their outputs can be merged back together — never for
+figures/tables/claims/smp, which over a partial suite would be silently
+wrong.
 """
 
 from __future__ import annotations
@@ -36,14 +43,17 @@ from repro.analysis import (
 )
 from repro.analysis.figures import build_figure
 from repro.analysis.paper import compare_table1
+from repro.analysis.breakdown import cpu_breakdown
 from repro.analysis.render import (
     render_breakdown_csv,
     render_breakdown_table,
     render_claims,
+    render_smp_table,
     render_stacked_ascii,
     render_sweep_table,
     render_table1,
 )
+from repro.analysis.smp import smp_rows
 from repro.analysis.sweep import METRICS, sweep_tables
 from repro.core import (
     BACKEND_NAMES,
@@ -64,11 +74,14 @@ from repro.sim.ticks import millis, seconds
 
 
 def _config(args: argparse.Namespace) -> RunConfig:
+    if args.cpus < 1:
+        raise ConfigError(f"--cpus must be >= 1, got {args.cpus}")
     return RunConfig(
         duration_ticks=seconds(args.duration),
         settle_ticks=millis(args.settle_ms),
         seed=args.seed,
         jit_enabled=not args.no_jit,
+        cpus=args.cpus,
     )
 
 
@@ -90,6 +103,10 @@ def _add_exec_flags(
     if sharding:
         parser.add_argument("--shard", metavar="K/N",
                             help="run only the K-th of N deterministic shards")
+    parser.add_argument("--window", type=int, metavar="N",
+                        help="async backend: pin the in-flight window to N "
+                             "units (default: adaptive, sized from observed "
+                             "result sizes)")
     parser.add_argument("--cache", metavar="DIR",
                         help="content-addressed result cache directory")
     parser.add_argument("--progress", action="store_true",
@@ -100,7 +117,8 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     return SuiteRunner(
         _config(args),
         backend=make_backend(args.backend, jobs=args.jobs,
-                             shard=getattr(args, "shard", None)),
+                             shard=getattr(args, "shard", None),
+                             window=args.window),
         cache=ResultCache(args.cache) if args.cache else None,
     )
 
@@ -182,7 +200,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(benches=tuple(ids), axes=axes, base=_config(args))
     runner = SweepRunner(
         backend=make_backend(args.backend, jobs=args.jobs,
-                             shard=getattr(args, "shard", None)),
+                             shard=getattr(args, "shard", None),
+                             window=args.window),
         cache=ResultCache(args.cache) if args.cache else None,
     )
     result = runner.run(
@@ -221,12 +240,17 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
     # directory and report a successful no-op.
     if not os.path.isdir(args.dir):
         raise ConfigError(f"no cache directory at {args.dir!r}")
-    if args.max_bytes is None and args.max_age is None:
-        raise ConfigError("cache gc needs --max-bytes and/or --max-age")
+    if args.max_bytes is None and args.max_age is None \
+            and args.max_entries is None:
+        raise ConfigError(
+            "cache gc needs --max-bytes, --max-age and/or --max-entries"
+        )
     cache = ResultCache(args.dir)
-    report = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+    report = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age,
+                      max_entries=args.max_entries, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
     print(f"cache:   {cache.root}")
-    print(f"evicted: {report.removed_entries} entries "
+    print(f"{verb}: {report.removed_entries} entries "
           f"({report.removed_bytes:,} bytes)")
     print(f"kept:    {report.kept_entries} entries "
           f"({report.kept_bytes:,} bytes)")
@@ -262,6 +286,13 @@ def cmd_claims(args: argparse.Namespace) -> int:
     return 0 if all(c.holds for c in claims) else 1
 
 
+def cmd_smp(args: argparse.Namespace) -> int:
+    suite = _load_or_run(args)
+    print(render_smp_table(smp_rows(suite)))
+    print(render_breakdown_table(cpu_breakdown(suite)))
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="agave-repro",
@@ -274,6 +305,9 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--no-jit", action="store_true",
                         help="disable the Dalvik trace JIT")
+    parser.add_argument("--cpus", type=int, default=1, metavar="N",
+                        help="simulated cores (cpus=1 reproduces the "
+                             "single-core results byte-for-byte)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the 25 benchmarks").set_defaults(
@@ -325,14 +359,23 @@ def make_parser() -> argparse.ArgumentParser:
                       help="evict oldest entries until the cache fits N bytes")
     p_gc.add_argument("--max-age", type=float, metavar="SECONDS",
                       help="evict entries last written more than SECONDS ago")
+    p_gc.add_argument("--max-entries", type=int, metavar="N",
+                      help="evict oldest entries until at most N remain")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be evicted without deleting")
     p_gc.set_defaults(func=cmd_cache_gc)
 
     for name, func, extra in (
         ("figures", cmd_figures, True),
         ("table1", cmd_table1, False),
         ("claims", cmd_claims, False),
+        ("smp", cmd_smp, False),
     ):
-        p = sub.add_parser(name, help=f"regenerate {name}")
+        help_text = (
+            "per-CPU utilisation report (TLP + core breakdown)"
+            if name == "smp" else f"regenerate {name}"
+        )
+        p = sub.add_parser(name, help=help_text)
         p.add_argument("--results", help="load a saved suite JSON "
                                          "instead of re-running")
         _add_exec_flags(p)

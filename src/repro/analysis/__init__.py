@@ -1,6 +1,11 @@
 """Analysis layer: figure/table builders, claims checks, renderers."""
 
-from repro.analysis.breakdown import StackedBreakdown, build_stacked, shares
+from repro.analysis.breakdown import (
+    StackedBreakdown,
+    build_stacked,
+    cpu_breakdown,
+    shares,
+)
 from repro.analysis.claims import Claim, evaluate_claims, failed_claims
 from repro.analysis.figures import (
     build_figure,
@@ -13,10 +18,12 @@ from repro.analysis.render import (
     render_breakdown_csv,
     render_breakdown_table,
     render_claims,
+    render_smp_table,
     render_stacked_ascii,
     render_sweep_table,
     render_table1,
 )
+from repro.analysis.smp import SmpRow, smp_row, smp_rows
 from repro.analysis.sweep import (
     METRICS,
     SweepRow,
@@ -29,6 +36,7 @@ from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, tabl
 __all__ = [
     "Claim",
     "METRICS",
+    "SmpRow",
     "StackedBreakdown",
     "SweepRow",
     "SweepTable",
@@ -38,6 +46,7 @@ __all__ = [
     "build_figure",
     "build_stacked",
     "canonical_thread_name",
+    "cpu_breakdown",
     "evaluate_claims",
     "failed_claims",
     "figure1",
@@ -47,10 +56,13 @@ __all__ = [
     "render_breakdown_csv",
     "render_breakdown_table",
     "render_claims",
+    "render_smp_table",
     "render_stacked_ascii",
     "render_sweep_table",
     "render_table1",
     "shares",
+    "smp_row",
+    "smp_rows",
     "sweep_tables",
     "table1",
 ]

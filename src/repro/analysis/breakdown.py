@@ -8,9 +8,12 @@ single "other" series whose label records how many items it hides.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.core.results import SuiteResult
 
 
 def shares(counts: Mapping[str, int]) -> dict[str, float]:
@@ -118,3 +121,36 @@ def build_stacked(
             covered += value
         breakdown.other_series.append(max(100.0 - covered, 0.0) if pct else 0.0)
     return breakdown
+
+
+def cpu_label(cpu_id: int) -> str:
+    """The per-CPU column label (``cpu0``, ``cpu1``, ...)."""
+    return f"cpu{cpu_id}"
+
+
+def cpu_breakdown(suite: "SuiteResult", title: str = "") -> StackedBreakdown:
+    """Per-benchmark percentage of references retired on each CPU.
+
+    The SMP companion to the paper's region/process figures: columns are
+    CPUs instead of regions, so a stacked bar shows how evenly each
+    workload spreads across the machine.  Single-core runs render as
+    100% ``cpu0``; the category list covers the largest core count in
+    the suite so mixed-``cpus`` suites still line up.
+    """
+    per_bench = {
+        bench_id: {
+            cpu_label(cpu_id): refs
+            for cpu_id, refs in suite.get(bench_id).refs_by_cpu().items()
+        }
+        for bench_id in suite.ids()
+    }
+    max_cpus = max(
+        (suite.get(bench_id).cpus for bench_id in suite.ids()), default=1
+    )
+    return build_stacked(
+        per_bench,
+        suite.ids(),
+        top_n=max(max_cpus, 1),
+        pinned=[cpu_label(i) for i in range(max_cpus)],
+        title=title or "Per-CPU reference breakdown",
+    )

@@ -12,6 +12,7 @@ from repro.analysis.tables import Table1
 
 if TYPE_CHECKING:
     from repro.analysis.claims import Claim
+    from repro.analysis.smp import SmpRow
     from repro.analysis.sweep import SweepTable
 
 
@@ -64,6 +65,32 @@ def render_stacked_ascii(fig: StackedBreakdown, bar_width: int = 50) -> str:
     return out.getvalue()
 
 
+def render_smp_table(rows: "Iterable[SmpRow]", width: int = 22) -> str:
+    """Per-benchmark core utilisation: TLP, active CPUs, and the share of
+    references retired on the dominant CPU."""
+    out = io.StringIO()
+    header = (
+        "benchmark".ljust(width)
+        + "cpus".rjust(6)
+        + "TLP".rjust(8)
+        + "active".rjust(8)
+        + "top-cpu %".rjust(11)
+        + "refs".rjust(16)
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in rows:
+        out.write(
+            f"{row.bench_id:<{width}}"
+            f"{row.cpus:>6}"
+            f"{row.tlp:>8.2f}"
+            f"{row.active_cpus:>8}"
+            f"{100 * row.busiest_share:>11.1f}"
+            f"{row.total_refs:>16,}\n"
+        )
+    return out.getvalue()
+
+
 def render_table1(table: Table1, top_n: int = 6) -> str:
     """Table I in the paper's two-column layout."""
     out = io.StringIO()
@@ -97,13 +124,19 @@ def render_sweep_table(table: "SweepTable", width: int = 22) -> str:
         header += label.rjust(16) + "Δ%".rjust(9)
     out.write(header + "\n")
     out.write("-" * len(header) + "\n")
+    # Count-like metrics read best as integers; ratio metrics (TLP
+    # hovers between 1 and the core count) need the decimals.
+    fractional = any(
+        m != int(m) for row in table.rows for m in row.metrics
+    )
+    cell = "16,.2f" if fractional else "16,.0f"
     for row in table.rows:
         line = row.bench_id.ljust(width)
         if has_context:
             line += row.context.ljust(ctx_width)
-        line += f"{row.metrics[0]:16,.0f}"
+        line += f"{row.metrics[0]:{cell}}"
         for metric, delta in zip(row.metrics[1:], row.deltas[1:]):
-            line += f"{metric:16,.0f}{delta:+9.1f}"
+            line += f"{metric:{cell}}{delta:+9.1f}"
         out.write(line + "\n")
     return out.getvalue()
 

@@ -1,0 +1,70 @@
+"""SMP analysis: per-core utilisation rows and the TLP concurrency metric.
+
+Agave's differentiator from SPEC is thread-level parallelism: dozens of
+threads across the app, Dalvik, system-server and kernel layers run
+concurrently on a real phone's cores.  With the engine simulating N CPUs
+this module reduces each run to the numbers that make that visible — how
+references and busy time spread across cores, and the TLP-style metric
+(average CPUs busy while at least one is busy, after Flautner et al.)
+that collapses the spread into one concurrency figure per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.core.results import RunResult, SuiteResult
+
+
+@dataclass(frozen=True)
+class SmpRow:
+    """One benchmark's core-level utilisation summary."""
+
+    bench_id: str
+    #: Simulated core count of the run.
+    cpus: int
+    #: Instruction + data references in the window.
+    total_refs: int
+    #: CPU id -> references retired there.
+    refs_by_cpu: "dict[int, int]"
+    #: CPU id -> busy ticks in the window (empty for single-core runs).
+    busy_by_cpu: "dict[int, int]"
+    #: Union of busy intervals across CPUs (the TLP denominator).
+    any_busy_ticks: int
+    #: Average CPUs busy while at least one was busy.
+    tlp: float
+
+    @property
+    def busiest_share(self) -> float:
+        """The dominant CPU's share of references (1.0 = fully serial)."""
+        total = sum(self.refs_by_cpu.values())
+        return max(self.refs_by_cpu.values()) / total if total else 0.0
+
+    @property
+    def active_cpus(self) -> int:
+        """CPUs that retired at least one reference."""
+        return sum(1 for refs in self.refs_by_cpu.values() if refs > 0)
+
+
+def smp_row(run: "RunResult") -> SmpRow:
+    """Reduce one run to its core-level utilisation summary."""
+    return SmpRow(
+        bench_id=run.bench_id,
+        cpus=run.cpus,
+        total_refs=run.total_refs,
+        refs_by_cpu=run.refs_by_cpu(),
+        busy_by_cpu=dict(run.busy_ticks_by_cpu),
+        any_busy_ticks=run.any_busy_ticks,
+        tlp=run.tlp(),
+    )
+
+
+def smp_rows(suite: "SuiteResult") -> list[SmpRow]:
+    """One :class:`SmpRow` per benchmark, in suite order."""
+    if not suite.ids():
+        raise AnalysisError("no runs to build SMP rows from")
+    return [smp_row(suite.get(bench_id)) for bench_id in suite.ids()]

@@ -28,6 +28,10 @@ METRICS: "dict[str, Callable[[RunResult], float]]" = {
     "threads": lambda run: float(run.thread_count()),
     "processes": lambda run: float(run.process_count()),
     "code_regions": lambda run: float(run.code_region_count()),
+    # SMP axes: concurrency and the busy-interval union (ticks with at
+    # least one CPU retiring); pair either with a cpus=... sweep axis.
+    "tlp": lambda run: run.tlp(),
+    "any_busy_ticks": lambda run: float(run.any_busy_ticks),
 }
 
 

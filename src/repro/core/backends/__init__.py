@@ -47,8 +47,9 @@ def make_backend(
 
     *name* of ``None`` picks serial unless ``jobs > 1``.  A *shard* spec
     (``"K/N"`` or ``(k, n)``) wraps the leaf backend in a
-    :class:`ShardedBackend`.  *window* bounds the async backend's
-    in-flight units (ignored by the others; default ``2 * jobs``).
+    :class:`ShardedBackend`.  *window* pins the async backend's
+    in-flight bound (ignored by the others); ``None`` leaves it
+    adaptive, sized from observed result sizes.
     """
     if name is None:
         name = ProcessPoolBackend.name if jobs > 1 else SerialBackend.name

@@ -15,15 +15,22 @@ simulating, and, through :class:`~repro.core.backends.base.StreamingBackend`,
 cache *lookups* for later units ride the stream instead of blocking the
 first submission.
 
+The window is adaptive by default: it grows when observed results are
+small (keeping the pool fed across fast units) and shrinks when they are
+large (a suite of billion-reference runs must not queue dozens of them),
+sized so queued results stay within a fixed memory budget.  An explicit
+``window`` pins it.
+
 Determinism is unchanged: results are reassembled by submission index,
 so the output is byte-identical to
 :class:`~repro.core.backends.serial.SerialBackend` regardless of
-completion order, window size, or job count.
+completion order, window size, adaptivity, or job count.
 """
 
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
@@ -42,6 +49,47 @@ if TYPE_CHECKING:
 
 _T = TypeVar("_T")
 
+#: Soft budget for completed-but-unprocessed result memory; the adaptive
+#: window is sized so ``window * observed-result-size`` stays under it.
+WINDOW_TARGET_BYTES = 32 * 1024 * 1024
+
+#: Adaptive window ceiling, as a multiple of the job count.
+WINDOW_MAX_FACTOR = 8
+
+
+class _InflightGate:
+    """A counting gate with a resizable limit (the adaptive window).
+
+    ``threading.BoundedSemaphore`` bakes its bound in at construction;
+    the completion thread needs to widen or narrow the bound mid-stream
+    as it observes result sizes, so this keeps an explicit count under a
+    condition variable instead.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self._cond = threading.Condition()
+        self._limit = limit
+        self._inflight = 0
+
+    def acquire(self) -> None:
+        with self._cond:
+            while self._inflight >= self._limit:
+                self._cond.wait()
+            self._inflight += 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def resize(self, limit: int) -> None:
+        """Change the bound; waiters re-check (a wider bound admits them,
+        a narrower one drains naturally as in-flight units complete)."""
+        with self._cond:
+            if limit != self._limit:
+                self._limit = limit
+                self._cond.notify_all()
+
 
 class AsyncBackend:
     """Feeds a process pool from the calling thread while a completion
@@ -51,8 +99,12 @@ class AsyncBackend:
     *window* bounds how many units may be in flight at once — submitted
     to the pool but not yet fully completed, stored, and reported.  The
     calling thread blocks on that bound, which is also the backpressure
-    that paces streamed cache lookups.  ``on_result`` is invoked from
-    the completion thread, exactly once per unit, indexed by submission
+    that paces streamed cache lookups.  Passing ``window=None`` (the
+    default) makes the bound adaptive: it starts at ``2 * jobs`` and is
+    re-sized from observed pickled result sizes so queued results stay
+    within :data:`WINDOW_TARGET_BYTES`, clamped to ``[jobs,
+    WINDOW_MAX_FACTOR * jobs]``.  ``on_result`` is invoked from the
+    completion thread, exactly once per unit, indexed by submission
     order; invocations are serialised (one completion thread), but they
     are concurrent with the *calling* thread, so callbacks shared with
     it must synchronise — :func:`~repro.core.runner.execute_with_cache`
@@ -64,14 +116,15 @@ class AsyncBackend:
     def __init__(self, jobs: int = 2, window: int | None = None) -> None:
         if jobs < 1:
             raise BackendError(f"async backend needs jobs >= 1, got {jobs}")
-        if window is None:
-            window = 2 * jobs
-        if window < 1:
+        if window is not None and window < 1:
             raise BackendError(
                 f"async backend needs window >= 1, got {window}"
             )
         self.jobs = jobs
-        self.window = window
+        self.adaptive = window is None
+        #: Current in-flight bound (re-sized live in adaptive mode).
+        self.window = window if window is not None else 2 * jobs
+        self._avg_result_bytes: float | None = None
         #: Bench ids actually simulated, in *completion* order (the only
         #: order this backend has; tests count real work with it).
         self.executed: list[str] = []
@@ -97,6 +150,23 @@ class AsyncBackend:
     ) -> "list[RunResult]":
         return self.execute_stream(iter(items), on_result)
 
+    def _observe(self, result: "RunResult", gate: _InflightGate) -> None:
+        """Adapt the window to the result sizes actually coming back.
+
+        Runs on the completion thread (off the submission critical
+        path): measures the pickled result, folds it into a moving
+        average, and re-sizes the gate so ``window * avg`` stays within
+        the memory budget.
+        """
+        size = len(pickle.dumps(result, pickle.HIGHEST_PROTOCOL))
+        avg = self._avg_result_bytes
+        self._avg_result_bytes = avg = (
+            float(size) if avg is None else (avg + size) / 2.0
+        )
+        fitted = int(WINDOW_TARGET_BYTES // max(avg, 1.0))
+        self.window = max(self.jobs, min(WINDOW_MAX_FACTOR * self.jobs, fitted))
+        gate.resize(self.window)
+
     def execute_stream(
         self,
         items: "Iterable[tuple[str, RunConfig]]",
@@ -117,7 +187,7 @@ class AsyncBackend:
             return []
 
         results: "list[RunResult | None]" = []
-        in_flight = threading.BoundedSemaphore(self.window)
+        in_flight = _InflightGate(self.window)
         failure: list[BaseException] = []
         stop = threading.Event()
 
@@ -131,6 +201,8 @@ class AsyncBackend:
                 result, elapsed = future.result()
                 results[index] = result
                 self.executed.append(bench_id)
+                if self.adaptive:
+                    self._observe(result, in_flight)
                 if on_result is not None:
                     on_result(index, elapsed, result)
             except BaseException as exc:  # noqa: BLE001 — re-raised below

@@ -41,6 +41,15 @@ def _decode_pairs(d: dict[str, int]) -> dict[tuple[str, str], int]:
     return out
 
 
+def _encode_cpus(d: dict[int, int]) -> dict[str, int]:
+    """JSON object keys must be strings; CPU ids round-trip as decimals."""
+    return {str(cpu_id): v for cpu_id, v in d.items()}
+
+
+def _decode_cpus(d: dict[str, int]) -> dict[int, int]:
+    return {int(cpu_id): v for cpu_id, v in d.items()}
+
+
 @dataclass
 class RunResult:
     """Everything measured during one benchmark's window."""
@@ -60,6 +69,17 @@ class RunResult:
     live_processes: int = 0
     threads_spawned_total: int = 0
     meta: dict = field(default_factory=dict)
+    #: SMP axes, populated only for ``cpus > 1`` runs (single-core
+    #: results keep the exact shape — and bytes — they had before the
+    #: SMP dimension existed).
+    cpus: int = 1
+    instr_by_cpu: dict[int, int] = field(default_factory=dict)
+    data_by_cpu: dict[int, int] = field(default_factory=dict)
+    #: CPU id -> ticks that CPU spent retiring blocks in the window.
+    busy_ticks_by_cpu: dict[int, int] = field(default_factory=dict)
+    #: Ticks during which at least one CPU was busy (union of busy
+    #: intervals) — the denominator of the TLP metric.
+    any_busy_ticks: int = 0
 
     # ------------------------------------------------------------------
 
@@ -74,6 +94,11 @@ class RunResult:
         live_processes: int,
         threads_spawned_total: int,
         meta: dict | None = None,
+        cpus: int = 1,
+        instr_by_cpu: dict[int, int] | None = None,
+        data_by_cpu: dict[int, int] | None = None,
+        busy_ticks_by_cpu: dict[int, int] | None = None,
+        any_busy_ticks: int = 0,
     ) -> "RunResult":
         """Snapshot the profiler into a result."""
         return cls(
@@ -91,6 +116,11 @@ class RunResult:
             live_processes=live_processes,
             threads_spawned_total=threads_spawned_total,
             meta=dict(meta or {}),
+            cpus=cpus,
+            instr_by_cpu=dict(instr_by_cpu or {}),
+            data_by_cpu=dict(data_by_cpu or {}),
+            busy_ticks_by_cpu=dict(busy_ticks_by_cpu or {}),
+            any_busy_ticks=any_busy_ticks,
         )
 
     # ------------------------------------------------------------------
@@ -144,6 +174,42 @@ class RunResult:
         total = sum(table.values())
         return table.get(label, 0) / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # SMP metrics (meaningful for cpus > 1; single-core runs degenerate
+    # to one implicit CPU owning everything)
+
+    def refs_by_cpu(self) -> dict[int, int]:
+        """CPU id -> instruction + data references retired there.
+
+        A single-core run (no per-CPU tables) reports everything on
+        CPU 0, so per-core analysis renders uniformly across core counts.
+        """
+        if not self.instr_by_cpu and not self.data_by_cpu:
+            return {0: self.total_refs}
+        out = dict(self.instr_by_cpu)
+        for cpu_id, data in self.data_by_cpu.items():
+            out[cpu_id] = out.get(cpu_id, 0) + data
+        return out
+
+    def tlp(self) -> float:
+        """Thread-level parallelism: average CPUs busy while any is.
+
+        ``sum(per-CPU busy ticks) / union-of-busy-intervals`` — 1.0 for
+        a perfectly serial run, approaching the core count when every
+        core stays busy together.  Single-core runs report 1.0 (when
+        anything ran at all).
+        """
+        if not self.busy_ticks_by_cpu:
+            return 1.0 if self.total_refs else 0.0
+        if self.any_busy_ticks <= 0:
+            return 0.0
+        return sum(self.busy_ticks_by_cpu.values()) / self.any_busy_ticks
+
+    def cpu_busy_share(self, cpu_id: int) -> float:
+        """One CPU's share of total busy ticks."""
+        total = sum(self.busy_ticks_by_cpu.values())
+        return self.busy_ticks_by_cpu.get(cpu_id, 0) / total if total else 0.0
+
     def effective_region_count(
         self, coverage: float = 0.99, instr: bool = True
     ) -> int:
@@ -170,8 +236,14 @@ class RunResult:
     # Serialisation
 
     def to_json_dict(self) -> dict:
-        """Plain-JSON representation."""
-        return {
+        """Plain-JSON representation.
+
+        The SMP axes are appended only for multi-core runs: a ``cpus=1``
+        result serialises to exactly the bytes the pre-SMP engine
+        produced, keeping historical suite files, cache entries and the
+        cross-backend differential matrix stable.
+        """
+        out = {
             "bench_id": self.bench_id,
             "benchmark_comm": self.benchmark_comm,
             "duration_ticks": self.duration_ticks,
@@ -187,6 +259,13 @@ class RunResult:
             "threads_spawned_total": self.threads_spawned_total,
             "meta": self.meta,
         }
+        if self.cpus > 1:
+            out["cpus"] = self.cpus
+            out["instr_by_cpu"] = _encode_cpus(self.instr_by_cpu)
+            out["data_by_cpu"] = _encode_cpus(self.data_by_cpu)
+            out["busy_ticks_by_cpu"] = _encode_cpus(self.busy_ticks_by_cpu)
+            out["any_busy_ticks"] = self.any_busy_ticks
+        return out
 
     @classmethod
     def from_json_dict(cls, raw: dict) -> "RunResult":
@@ -206,6 +285,11 @@ class RunResult:
             live_processes=raw["live_processes"],
             threads_spawned_total=raw["threads_spawned_total"],
             meta=dict(raw.get("meta", {})),
+            cpus=raw.get("cpus", 1),
+            instr_by_cpu=_decode_cpus(raw.get("instr_by_cpu", {})),
+            data_by_cpu=_decode_cpus(raw.get("data_by_cpu", {})),
+            busy_ticks_by_cpu=_decode_cpus(raw.get("busy_ticks_by_cpu", {})),
+            any_busy_ticks=raw.get("any_busy_ticks", 0),
         )
 
 
@@ -421,19 +505,25 @@ class ResultCache:
         max_bytes: int | None = None,
         max_age: float | None = None,
         now: float | None = None,
+        max_entries: int | None = None,
+        dry_run: bool = False,
     ) -> GcReport:
         """Evict run entries oldest-first until the cache fits the bounds.
 
         *max_age* (seconds) drops every entry whose modification time is
-        older than ``now - max_age``; *max_bytes* then evicts oldest-first
+        older than ``now - max_age``; *max_entries* then evicts
+        oldest-first until at most that many survive; *max_bytes* last,
         until the survivors fit the budget.  Eviction order is mtime
         ascending with the entry name as tie-break, so repeated passes
         evict deterministically.  Only run entries (hex-keyed ``.json``
         files) are candidates: the stats file (hit/miss counters survive
         a GC pass), in-flight tmp files, and foreign files parked in the
         directory are never touched.  An entry whose unlink fails is
-        reported as kept, and with both bounds ``None`` the pass is a
+        reported as kept, and with every bound ``None`` the pass is a
         no-op report.
+
+        *dry_run* reports what the same bounds *would* evict without
+        unlinking anything — the report reads exactly like a real pass.
         """
         entries: list[tuple[float, str, int]] = []
         for name in self._entry_names():
@@ -452,6 +542,9 @@ class ResultCache:
             cutoff = now - max_age
             doomed = [e for e in kept if e[0] < cutoff]
             kept = [e for e in kept if e[0] >= cutoff]
+        if max_entries is not None:
+            while len(kept) > max(max_entries, 0):
+                doomed.append(kept.pop(0))
         if max_bytes is not None:
             kept_bytes = sum(size for _, _, size in kept)
             while kept and kept_bytes > max_bytes:
@@ -463,13 +556,15 @@ class ResultCache:
         survivors = list(kept)
         for entry in doomed:
             _, name, size = entry
-            try:
-                os.unlink(os.path.join(self.root, name))
-            except OSError:
-                # Still on disk (permissions, concurrent replace): report
-                # it as kept, so the caller sees the true directory state.
-                survivors.append(entry)
-                continue
+            if not dry_run:
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                except OSError:
+                    # Still on disk (permissions, concurrent replace):
+                    # report it as kept, so the caller sees the true
+                    # directory state.
+                    survivors.append(entry)
+                    continue
             removed_entries += 1
             removed_bytes += size
         return GcReport(

@@ -56,6 +56,8 @@ class RunConfig:
     jit_enabled: bool = True
     #: Optional calibration override (ablation knob).
     calibration: Calibration | None = None
+    #: Simulated cores (the SMP dimension).
+    cpus: int = 1
 
     def scaled(self, factor: float) -> "RunConfig":
         """A config with the window scaled by *factor*.
@@ -69,16 +71,24 @@ class RunConfig:
 
     def to_json_dict(self) -> dict:
         """Plain-JSON representation (stable key order via dataclass order;
-        ``asdict`` recurses into the nested calibration)."""
-        return asdict(self)
+        ``asdict`` recurses into the nested calibration).
+
+        ``cpus`` is omitted at its default of 1 so single-core configs
+        keep the exact JSON — and therefore the exact cache keys — they
+        had before the SMP dimension existed.
+        """
+        raw = asdict(self)
+        if self.cpus == 1:
+            del raw["cpus"]
+        return raw
 
     @classmethod
     def from_json_dict(cls, raw: dict) -> "RunConfig":
         """Inverse of :meth:`to_json_dict`.
 
-        Validates the window: a config deserialised from external JSON
-        must not smuggle in a zero/negative measurement window or a
-        negative settle.
+        Validates the knobs a config deserialised from external JSON
+        could smuggle in: a zero/negative measurement window, a negative
+        settle, or a core count below one.
         """
         raw = dict(raw)
         cal = raw.pop("calibration", None)
@@ -91,6 +101,8 @@ class RunConfig:
             raise ConfigError(
                 f"settle_ticks must be >= 0, got {cfg.settle_ticks}"
             )
+        if cfg.cpus < 1:
+            raise ConfigError(f"cpus must be >= 1, got {cfg.cpus}")
         return cfg
 
 
@@ -119,7 +131,7 @@ def execute_one(bench_id: str, cfg: RunConfig) -> RunResult:
 
 def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
     seed = bench_seed(spec.bench_id, cfg)
-    system = System(seed=seed)
+    system = System(seed=seed, cpus=cfg.cpus)
     stack = boot_android(system, jit_enabled=cfg.jit_enabled)
 
     if spec.is_android:
@@ -127,7 +139,7 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
         model.setup_files(system)
         system.run_for(cfg.settle_ticks)
         system.profiler.reset()
-        reaped_at_open = system.kernel.threads_reaped
+        window = _open_window(system)
         record = start_activity(stack, model, background=spec.background)
         system.run_for(cfg.duration_ticks)
         comm = model.benchmark_comm
@@ -144,7 +156,7 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
         model = spec.factory(seed)
         system.run_for(cfg.settle_ticks)
         system.profiler.reset()
-        reaped_at_open = system.kernel.threads_reaped
+        window = _open_window(system)
         proc = model.launch(system)
         system.run_for(cfg.duration_ticks)
         comm = truncate_comm(model.name)
@@ -153,11 +165,27 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
             "pid": proc.pid,
         }
 
+    reaped_at_open, busy_at_open, any_busy_at_open = window
     # "Threads spawned": every thread alive at window close plus the
     # transients that came and went inside the window.
     threads_observed = system.kernel.thread_count() + (
         system.kernel.threads_reaped - reaped_at_open
     )
+    smp: dict = {}
+    if cfg.cpus > 1:
+        # Per-CPU busy/idle deltas over the measurement window.  Only
+        # multi-core runs carry them: single-core results must stay
+        # byte-identical to the pre-SMP engine's output.
+        smp = {
+            "cpus": cfg.cpus,
+            "instr_by_cpu": dict(system.profiler.instr_by_cpu),
+            "data_by_cpu": dict(system.profiler.data_by_cpu),
+            "busy_ticks_by_cpu": {
+                cpu.cpu_id: cpu.busy_ticks - busy_at_open[cpu.cpu_id]
+                for cpu in system.cpus
+            },
+            "any_busy_ticks": system.engine.any_busy_ticks - any_busy_at_open,
+        }
     return RunResult.from_profiler(
         bench_id=spec.bench_id,
         benchmark_comm=comm,
@@ -167,6 +195,16 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
         live_processes=system.kernel.process_count(),
         threads_spawned_total=threads_observed,
         meta=meta,
+        **smp,
+    )
+
+
+def _open_window(system: System) -> tuple[int, list[int], int]:
+    """Census counters snapshotted as the measurement window opens."""
+    return (
+        system.kernel.threads_reaped,
+        [cpu.busy_ticks for cpu in system.cpus],
+        system.engine.any_busy_ticks,
     )
 
 

@@ -38,6 +38,7 @@ if TYPE_CHECKING:
 AXIS_SEED = "seed"
 AXIS_JIT = "jit"
 AXIS_DURATION = "duration"
+AXIS_CPUS = "cpus"
 CAL_PREFIX = "cal."
 
 _CAL_FIELDS = {f.name for f in fields(Calibration)}
@@ -72,6 +73,7 @@ class SweepAxis:
     - ``seed`` — integer base seeds.
     - ``jit`` — booleans (CLI spelling ``on``/``off``).
     - ``duration`` — positive scale factors applied to the base window.
+    - ``cpus`` — simulated core counts (integers >= 1, the SMP axis).
     - ``cal.<field>`` — numeric overrides of one
       :class:`~repro.calibration.Calibration` field.
     """
@@ -95,6 +97,10 @@ class SweepAxis:
             if not all(isinstance(v, (int, float)) and v > 0
                        for v in self.values):
                 raise ConfigError("duration axis values must be positive")
+        elif self.name == AXIS_CPUS:
+            if not all(isinstance(v, int) and not isinstance(v, bool) and v >= 1
+                       for v in self.values):
+                raise ConfigError("cpus axis values must be integers >= 1")
         elif self.name.startswith(CAL_PREFIX):
             cal_field = self.name[len(CAL_PREFIX):]
             if cal_field not in _CAL_FIELDS:
@@ -108,7 +114,7 @@ class SweepAxis:
         else:
             raise ConfigError(
                 f"unknown axis {self.name!r}; known: {AXIS_SEED}, {AXIS_JIT}, "
-                f"{AXIS_DURATION}, {CAL_PREFIX}<field>"
+                f"{AXIS_DURATION}, {AXIS_CPUS}, {CAL_PREFIX}<field>"
             )
 
     def apply(self, cfg: RunConfig, value: object) -> RunConfig:
@@ -119,6 +125,8 @@ class SweepAxis:
             return replace(cfg, jit_enabled=value)
         if self.name == AXIS_DURATION:
             return cfg.scaled(value)
+        if self.name == AXIS_CPUS:
+            return replace(cfg, cpus=value)
         base_cal = cfg.calibration if cfg.calibration is not None else Calibration()
         return replace(
             cfg,
@@ -129,8 +137,9 @@ class SweepAxis:
 def parse_axis(text: str) -> SweepAxis:
     """Parse a CLI ``name=v1,v2,...`` axis spec.
 
-    ``jit`` accepts ``on/off/true/false``; ``seed`` parses integers;
-    ``duration`` and ``cal.*`` parse numbers (int kept when exact).
+    ``jit`` accepts ``on/off/true/false``; ``seed`` and ``cpus`` parse
+    integers; ``duration`` and ``cal.*`` parse numbers (int kept when
+    exact).
     """
     name, sep, values_text = text.partition("=")
     if not sep or not name or not values_text:

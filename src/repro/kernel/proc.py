@@ -30,7 +30,7 @@ class Kernel:
 
     def __init__(self, system: "System") -> None:
         self.system = system
-        self.sched = Scheduler()
+        self.sched = Scheduler(cpus=len(system.cpus))
         self.timers = TimerQueue()
         self.loader = Loader()
         self.processes: list[Process] = []
@@ -166,12 +166,18 @@ class Kernel:
         name: str,
         behavior: BehaviorLike,
         with_stack: bool = True,
+        affinity: int | None = None,
     ) -> Task:
-        """clone(CLONE_VM): add a thread to *proc* sharing its mm."""
+        """clone(CLONE_VM): add a thread to *proc* sharing its mm.
+
+        *affinity* pins the thread to one CPU: wakeups always land on
+        that CPU's runqueue and load balancing never migrates it.
+        """
         stack_vma = None
         if with_stack and proc.mm is not None:
             stack_vma = proc.mm.map_thread_stack()
         task = Task(self._alloc_id(), name, proc, None, self.sched, stack_vma)
+        task.affinity = affinity
         task.spawn_time = self.system.clock.now
         proc.tasks.append(task)
         self.threads_spawned += 1

@@ -1,10 +1,24 @@
 """CPU scheduler and timer queue.
 
-The scheduler is a deterministic round-robin run queue — sufficient for an
-atomic (functional) CPU model whose purpose is reference attribution, and
-matching the paper's methodology of counting references rather than timing
-them precisely.  The timer queue drives sleeps, vsync loops and device
-completion callbacks.
+The scheduler keeps one deterministic round-robin runqueue *per CPU* —
+sufficient for atomic (functional) CPU models whose purpose is reference
+attribution, and matching the paper's methodology of counting references
+rather than timing them precisely.  Placement and balancing are fully
+deterministic so any ``(bench_id, RunConfig)`` pair maps to exactly one
+result regardless of backend or host:
+
+* wakeups honour the task's ``affinity`` hint when set, otherwise land
+  on the idlest (shortest) runqueue, preferring the CPU the task last
+  ran on among ties and breaking remaining ties by lowest CPU id;
+* a CPU whose own queue is empty pulls the oldest migratable waiter
+  from the longest other queue (idle balancing);
+* the engine additionally calls :meth:`balance` on a fixed simulated
+  period, pulling waiters from the longest to the shortest queue until
+  lengths differ by at most one (periodic balancing).
+
+With ``cpus=1`` every path degenerates to the original single global
+round-robin queue, byte-for-byte.  The timer queue drives sleeps, vsync
+loops and device completion callbacks.
 """
 
 from __future__ import annotations
@@ -21,50 +35,167 @@ if TYPE_CHECKING:
 
 
 class Scheduler:
-    """Round-robin run queue over runnable tasks."""
+    """Deterministic per-CPU round-robin runqueues."""
 
     #: Default timeslice: 10ms of simulated time.
     QUANTUM_TICKS = 10_000_000
 
-    def __init__(self, quantum: int | None = None) -> None:
+    #: Simulated time between periodic :meth:`balance` passes (engine-driven).
+    BALANCE_TICKS = 4 * QUANTUM_TICKS
+
+    def __init__(self, quantum: int | None = None, cpus: int = 1) -> None:
+        if cpus < 1:
+            raise SchedulerError(f"scheduler needs cpus >= 1, got {cpus}")
         self.quantum = quantum if quantum is not None else self.QUANTUM_TICKS
-        self._runq: deque[Task] = deque()
+        self.balance_period = self.BALANCE_TICKS
+        self.cpus = cpus
+        self._runqs: list[deque[Task]] = [deque() for _ in range(cpus)]
         self.context_switches = 0
+        #: Tasks moved between runqueues (idle pulls + periodic balancing).
+        self.migrations = 0
 
     def __len__(self) -> int:
-        return len(self._runq)
+        return sum(len(q) for q in self._runqs)
 
-    def enqueue(self, task: Task) -> None:
-        """Add a runnable task to the back of the queue."""
-        if task.state is not TaskState.RUNNABLE:
-            raise SchedulerError(f"enqueue of non-runnable {task!r}")
-        self._runq.append(task)
+    def runq_len(self, cpu_id: int) -> int:
+        """Queued (waiting) tasks on one CPU's runqueue."""
+        return len(self._runqs[cpu_id])
 
-    def pick(self) -> Task | None:
-        """Pop the next runnable task, skipping any that died in the queue."""
-        while self._runq:
-            task = self._runq.popleft()
-            if task.state is TaskState.RUNNABLE:
-                task.state = TaskState.RUNNING
-                self.context_switches += 1
-                return task
+    # ------------------------------------------------------------------
+    # Placement
+
+    def _pin(self, task: Task) -> int | None:
+        """The CPU a task is validly pinned to, or None.
+
+        An out-of-range hint (a 4-core pin carried onto a 2-core
+        machine) must degrade to "unpinned" *consistently* — both for
+        placement and for migration — or the task would place like a
+        free task yet be unstealable from a backed-up queue.
+        """
+        hint = task.affinity
+        if hint is not None and 0 <= hint < self.cpus:
+            return hint
         return None
 
-    def requeue(self, task: Task) -> None:
-        """Put a preempted/yielding task back on the queue."""
+    def _place(self, task: Task) -> int:
+        """The runqueue a waking task lands on.
+
+        Affinity wins outright; otherwise the idlest queue, preferring
+        the task's last CPU among equally idle queues (warm placement),
+        then the lowest CPU id.
+        """
+        if self.cpus == 1:
+            return 0
+        hint = self._pin(task)
+        if hint is not None:
+            return hint
+        runqs = self._runqs
+        best = 0
+        best_len = len(runqs[0])
+        for cpu_id in range(1, self.cpus):
+            qlen = len(runqs[cpu_id])
+            if qlen < best_len:
+                best, best_len = cpu_id, qlen
+        last = task.last_cpu
+        if last is not None and 0 <= last < self.cpus and len(runqs[last]) == best_len:
+            return last
+        return best
+
+    def enqueue(self, task: Task) -> None:
+        """Add a runnable task to the back of its placement queue."""
+        if task.state is not TaskState.RUNNABLE:
+            raise SchedulerError(f"enqueue of non-runnable {task!r}")
+        self._runqs[self._place(task)].append(task)
+
+    def pick(self, cpu_id: int = 0) -> Task | None:
+        """Pop the next runnable task for *cpu_id*, skipping any that died
+        in the queue; an empty queue pulls from the busiest other CPU."""
+        q = self._runqs[cpu_id]
+        while q:
+            task = q.popleft()
+            if task.state is TaskState.RUNNABLE:
+                return self._dispatch(task, cpu_id)
+        if self.cpus > 1:
+            return self._pull(cpu_id)
+        return None
+
+    def _dispatch(self, task: Task, cpu_id: int) -> Task:
+        task.state = TaskState.RUNNING
+        task.last_cpu = cpu_id
+        self.context_switches += 1
+        return task
+
+    def _pull(self, cpu_id: int) -> Task | None:
+        """Idle balancing: steal the oldest migratable waiter from the
+        longest other queue (ties broken by lowest CPU id).  Tasks pinned
+        elsewhere by affinity never migrate; dead entries are left for
+        their own queue's pick to prune."""
+        order = sorted(
+            (src for src in range(self.cpus) if src != cpu_id and self._runqs[src]),
+            key=lambda src: (-len(self._runqs[src]), src),
+        )
+        for src in order:
+            q = self._runqs[src]
+            for i, task in enumerate(q):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                pin = self._pin(task)
+                if pin is not None and pin != cpu_id:
+                    continue
+                del q[i]
+                self.migrations += 1
+                return self._dispatch(task, cpu_id)
+        return None
+
+    def balance(self) -> int:
+        """Periodic pull pass: move waiters from the longest to the
+        shortest runqueue until lengths differ by at most one.  Returns
+        the number of tasks moved.  A no-op on a single-CPU machine."""
+        moved = 0
+        if self.cpus < 2:
+            return moved
+        while True:
+            lens = [len(q) for q in self._runqs]
+            src = max(range(self.cpus), key=lambda c: (lens[c], -c))
+            dst = min(range(self.cpus), key=lambda c: (lens[c], c))
+            if lens[src] - lens[dst] < 2:
+                return moved
+            q = self._runqs[src]
+            for i, task in enumerate(q):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                pin = self._pin(task)
+                if pin is not None and pin != dst:
+                    continue
+                del q[i]
+                self._runqs[dst].append(task)
+                self.migrations += 1
+                moved += 1
+                break
+            else:
+                return moved
+
+    def requeue(self, task: Task, cpu_id: int = 0) -> None:
+        """Put a preempted/yielding task back on the queue of the CPU it
+        ran on (it does not re-run placement — its cache state is there)."""
         task.state = TaskState.RUNNABLE
-        self._runq.append(task)
+        self._runqs[cpu_id].append(task)
 
     def remove(self, task: Task) -> None:
-        """Drop a task from the queue (exit path)."""
-        try:
-            self._runq.remove(task)
-        except ValueError:
-            pass
+        """Drop a task from whichever queue holds it (exit path)."""
+        for q in self._runqs:
+            try:
+                q.remove(task)
+                return
+            except ValueError:
+                continue
 
-    def snapshot(self) -> tuple[Task, ...]:
-        """Current queue contents in order (diagnostics)."""
-        return tuple(self._runq)
+    def snapshot(self, cpu_id: int | None = None) -> tuple[Task, ...]:
+        """Current queue contents in order (diagnostics): one CPU's queue,
+        or every queue concatenated in CPU-id order."""
+        if cpu_id is not None:
+            return tuple(self._runqs[cpu_id])
+        return tuple(task for q in self._runqs for task in q)
 
 
 class TimerQueue:

@@ -54,6 +54,8 @@ class Task:
         "spawn_time",
         "exit_time",
         "cpu_ticks",
+        "affinity",
+        "last_cpu",
     )
 
     def __init__(
@@ -80,6 +82,11 @@ class Task:
         self.spawn_time = 0
         self.exit_time: int | None = None
         self.cpu_ticks = 0
+        #: Hard placement hint: wakeups always land on this CPU's runqueue
+        #: and load balancing never migrates the task away from it.
+        self.affinity: int | None = None
+        #: CPU the task last ran on (warm-placement tie-break).
+        self.last_cpu: int | None = None
 
     # ------------------------------------------------------------------
 

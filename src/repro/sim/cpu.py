@@ -27,14 +27,17 @@ class AtomicCPU:
         self.cpu_id = cpu_id
         self.insts_retired = 0
         self.blocks_executed = 0
+        #: Ticks this CPU spent retiring blocks (the SMP busy-time axis).
+        self.busy_ticks = 0
 
     def execute(self, task: "Task", block: "ExecBlock") -> int:
         """Retire *block* on behalf of *task*; returns elapsed ticks."""
-        self.profiler.charge(task, block)
+        self.profiler.charge(task, block, self.cpu_id)
         self.insts_retired += block.insts
         self.blocks_executed += 1
         ticks = insts_to_ticks(block.insts)
         task.cpu_ticks += ticks
+        self.busy_ticks += ticks
         return ticks
 
     def __repr__(self) -> str:

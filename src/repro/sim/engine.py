@@ -1,10 +1,27 @@
-"""The simulation engine: dispatches ops from scheduled tasks.
+"""The simulation engine: an N-core SMP event loop dispatching ops.
 
-This is gem5's event loop in miniature.  One atomic CPU pulls ops from the
-task the scheduler picked; blocking/sleeping ops park the task; the timer
-queue drives periodic threads; when nothing is runnable the idle task
-(``swapper``) accrues a trickle of kernel references — which is why the
-paper's SPEC bars show a sliver of ``swapper``.
+This is gem5's event loop in miniature, generalised to symmetric
+multiprocessing.  Each CPU pulls ops from the task its per-CPU runqueue
+picked; blocking/sleeping ops park the task; the timer queue drives
+periodic threads; a CPU with nothing runnable idles (the ``swapper``
+task accrues a trickle of kernel references — which is why the paper's
+SPEC bars show a sliver of ``swapper``).
+
+Determinism rules (the invariant the whole backend/cache fleet relies
+on — a run is a pure function of ``(bench_id, RunConfig)``):
+
+* CPUs interleave in global tick order: the engine always acts on the
+  CPU whose next action is earliest, breaking timestamp ties in favour
+  of CPUs mid-dispatch (so wakeup side effects land before an idle CPU
+  re-picks) and then by lowest CPU id.
+* Wake placement, idle pulls and periodic balancing are deterministic
+  functions of runqueue state (see :class:`~repro.kernel.sched.Scheduler`).
+* With ``cpus=1`` the loop replays the original single-CPU engine
+  op-for-op, so single-core results stay byte-identical.
+
+The inner loop is the dominant cost of every run, so it binds hot
+attributes to locals and probes the timer heap inline instead of paying
+a method call per retired block.
 """
 
 from __future__ import annotations
@@ -12,43 +29,196 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulerError
-from repro.kernel.sched import Scheduler, TimerQueue
-from repro.kernel.task import Task, TaskState
+from repro.kernel.task import TaskState
 from repro.sim.ops import Block, ExecBlock, Sleep, SleepUntil, Yield
 
 if TYPE_CHECKING:
+    from repro.kernel.task import Task
+    from repro.sim.cpu import AtomicCPU
     from repro.sim.system import System
 
 #: Idle-loop intensity: kernel instructions per tick while idling.
 IDLE_INSTS_PER_TICK = 0.0005
 
 
+class _CpuSlot:
+    """One CPU's execution state inside the event loop."""
+
+    __slots__ = ("cpu", "index", "task", "quantum_end", "next_at")
+
+    def __init__(self, cpu: "AtomicCPU", index: int) -> None:
+        self.cpu = cpu
+        self.index = index
+        #: The RUNNING task bound to this CPU (None while picking/idling).
+        self.task: "Task | None" = None
+        self.quantum_end = 0
+        #: Absolute tick of this CPU's next action: the end of the block
+        #: it is retiring, the instant it should re-pick, or (while idle)
+        #: the next event that could hand it work.
+        self.next_at = 0
+
+
 class Engine:
-    """Runs the system forward in time."""
+    """Runs the system forward in time across every CPU."""
 
     def __init__(self, system: "System") -> None:
         self.system = system
         self.clock = system.clock
-        self.cpu = system.cpu
+        self.cpus = system.cpus
         self.profiler = system.profiler
-        self.sched: Scheduler = system.kernel.sched
-        self.timers: TimerQueue = system.kernel.timers
+        self.sched = system.kernel.sched
+        self.timers = system.kernel.timers
         self.ops_dispatched = 0
+        #: Idle ticks summed across CPUs (single-CPU: the old counter).
         self.idle_ticks = 0
+        #: Idle ticks per CPU, indexed by CPU id.
+        self.cpu_idle_ticks = [0] * len(system.cpus)
+        #: Measure of the union of busy intervals across CPUs: ticks
+        #: during which at least one CPU was retiring a block.  Paired
+        #: with per-CPU busy ticks this yields the TLP-style concurrency
+        #: metric (average CPUs busy while any CPU is busy).
+        self.any_busy_ticks = 0
+        self._busy_until = 0
+        self._slots = [_CpuSlot(cpu, i) for i, cpu in enumerate(system.cpus)]
 
     # ------------------------------------------------------------------
 
     def run_until(self, deadline: int, max_ops: int | None = None) -> None:
-        """Advance simulated time to *deadline* (absolute tick)."""
-        ops_budget = max_ops if max_ops is not None else float("inf")
-        while self.clock.now < deadline and ops_budget > 0:
-            self.timers.fire_due(self.clock.now)
-            task = self.sched.pick()
+        """Advance simulated time to *deadline* (absolute tick).
+
+        *max_ops* bounds dispatched ops; the budget is only checked when
+        a CPU is about to pick a new task, so a running task always
+        finishes its scheduling segment (quantum/block/yield), exactly
+        as the single-CPU engine behaved.
+        """
+        clock = self.clock
+        timers = self.timers
+        timer_heap = timers._heap  # hot-loop: probe before paying fire_due
+        sched = self.sched
+        kernel = self.system.kernel
+        slots = self._slots
+        smp = len(slots) > 1
+        # Budget stays integer-only in the hot loop: None means unbounded
+        # (the old float("inf") mixed float comparisons into every pass).
+        budget = max_ops
+
+        now = clock.now
+        if now >= deadline:
+            timers.fire_due(now)
+            return
+        for slot in slots:
+            slot.task = None
+            slot.next_at = now
+        next_balance = now + sched.balance_period
+
+        while True:
+            # Select the next acting CPU: earliest next_at; ties prefer a
+            # CPU mid-dispatch over one about to pick (False sorts first),
+            # then lowest id via scan order.
+            best = slots[0]
+            if smp:
+                best_key = (best.next_at, best.task is None)
+                for slot in slots:
+                    key = (slot.next_at, slot.task is None)
+                    if key < best_key:
+                        best, best_key = slot, key
+            t = best.next_at
+            if t >= deadline:
+                break
+            if t > now:
+                now = clock.advance_to(t)
+                if smp and now >= next_balance:
+                    sched.balance()
+                    next_balance = now + sched.balance_period
+            if timer_heap and timer_heap[0][0] <= now:
+                timers.fire_due(now)
+
+            task = best.task
+            if task is not None and now >= best.quantum_end:
+                sched.requeue(task, best.index)
+                best.task = task = None
             if task is None:
-                self._run_idle(deadline)
+                if budget is not None and budget <= 0:
+                    break
+                task = sched.pick(best.index)
+                if task is None:
+                    self._park(best, now, deadline)
+                    continue
+                best.task = task
+                best.quantum_end = now + sched.quantum
+
+            # Dispatch exactly one op; the loop re-selects between ops so
+            # CPUs interleave at block granularity.
+            behavior = task.behavior
+            if behavior is None:
+                kernel.reap_task(task)
+                best.task = None
+                best.next_at = now
                 continue
-            ops_budget -= self._run_task(task, deadline)
-        self.timers.fire_due(self.clock.now)
+            try:
+                op = next(behavior)
+            except StopIteration:
+                kernel.reap_task(task)
+                best.task = None
+                best.next_at = now
+                continue
+            self.ops_dispatched += 1
+            if budget is not None:
+                budget -= 1
+
+            kind = type(op)
+            if kind is ExecBlock:
+                ticks = best.cpu.execute(task, op)
+                end = now + ticks
+                if end > self._busy_until:
+                    start = now if now > self._busy_until else self._busy_until
+                    self.any_busy_ticks += end - start
+                    self._busy_until = end
+                best.next_at = end
+            elif kind is Block:
+                task.state = TaskState.BLOCKED
+                task.waitq = op.waitq
+                op.waitq.add(task)
+                best.task = None
+                best.next_at = now
+            elif kind is Sleep:
+                self._sleep_until(task, now + op.duration)
+                best.task = None
+                best.next_at = now
+            elif kind is SleepUntil:
+                if op.deadline > now:
+                    self._sleep_until(task, op.deadline)
+                    best.task = None
+                best.next_at = now
+            elif kind is Yield:
+                sched.requeue(task, best.index)
+                best.task = None
+                best.next_at = now
+            else:
+                raise SchedulerError(f"unknown op {op!r} from {task!r}")
+
+        # Wind down: blocks already charged run to completion, so the
+        # clock lands on the latest in-flight block end (or the deadline
+        # when the machine idled there); due timers fire; still-running
+        # tasks unbind back to their runqueues in CPU-id order.  On a
+        # budget stop only in-flight blocks move the clock — idle CPUs
+        # may have accrued their final parked span past it, a smear only
+        # reachable with cpus > 1 and an ops budget.
+        end = clock.now
+        deadline_reached = True
+        for slot in slots:
+            if slot.task is not None and slot.next_at > end:
+                end = slot.next_at
+            if slot.next_at < deadline:
+                deadline_reached = False
+        if deadline_reached and deadline > end:
+            end = deadline
+        clock.advance_to(end)
+        timers.fire_due(clock.now)
+        for slot in slots:
+            if slot.task is not None:
+                sched.requeue(slot.task, slot.index)
+                slot.task = None
 
     def run_for(self, duration: int, max_ops: int | None = None) -> None:
         """Advance simulated time by *duration* ticks."""
@@ -56,67 +226,32 @@ class Engine:
 
     # ------------------------------------------------------------------
 
-    def _run_task(self, task: Task, deadline: int) -> int:
-        """Run *task* until it blocks, yields, exhausts its quantum, or the
-        run deadline passes.  Returns the number of ops dispatched."""
-        quantum_end = self.clock.now + self.sched.quantum
-        dispatched = 0
-        while True:
-            behavior = task.behavior
-            if behavior is None:
-                self.system.kernel.reap_task(task)
-                return dispatched
-            try:
-                op = next(behavior)
-            except StopIteration:
-                self.system.kernel.reap_task(task)
-                return dispatched
-            dispatched += 1
-            self.ops_dispatched += 1
-
-            if type(op) is ExecBlock:
-                ticks = self.cpu.execute(task, op)
-                self.clock.advance(ticks)
-                self.timers.fire_due(self.clock.now)
-                if self.clock.now >= quantum_end or self.clock.now >= deadline:
-                    self.sched.requeue(task)
-                    return dispatched
-            elif type(op) is Block:
-                task.state = TaskState.BLOCKED
-                task.waitq = op.waitq
-                op.waitq.add(task)
-                return dispatched
-            elif type(op) is Sleep:
-                self._sleep_until(task, self.clock.now + op.duration)
-                return dispatched
-            elif type(op) is SleepUntil:
-                if op.deadline <= self.clock.now:
-                    continue
-                self._sleep_until(task, op.deadline)
-                return dispatched
-            elif type(op) is Yield:
-                self.sched.requeue(task)
-                return dispatched
-            else:
-                raise SchedulerError(f"unknown op {op!r} from {task!r}")
-
-    def _sleep_until(self, task: Task, deadline: int) -> None:
+    def _sleep_until(self, task: "Task", deadline: int) -> None:
         task.state = TaskState.SLEEPING
         self.timers.add(deadline, task)
 
-    def _run_idle(self, deadline: int) -> None:
-        """Nothing runnable: idle until the next timer (or the deadline)."""
+    def _park(self, slot: _CpuSlot, now: int, deadline: int) -> None:
+        """Nothing runnable for this CPU: idle until the next event that
+        could hand it work — a timer firing, or any busy CPU's next
+        action (ops are where wakeups, spawns and queue placement
+        happen).  The target is strictly in the future (timers due now
+        already fired; zero-length blocks keep their CPU ahead in the
+        tie-break), so a parked CPU always makes progress."""
+        target = deadline
         next_timer = self.timers.next_deadline()
-        if next_timer is None or next_timer > deadline:
-            target = deadline
-        else:
-            target = max(next_timer, self.clock.now)
-        span = target - self.clock.now
+        if next_timer is not None and now < next_timer < target:
+            target = next_timer
+        for other in self._slots:
+            if other.task is not None and now < other.next_at < target:
+                target = other.next_at
+        span = target - now
         if span > 0:
             idle = self.system.kernel.idle_task
             insts = int(span * IDLE_INSTS_PER_TICK)
             if idle is not None and insts > 0:
-                self.profiler.charge_idle(idle.process.comm, idle.name, insts)
+                self.profiler.charge_idle(
+                    idle.process.comm, idle.name, insts, slot.index
+                )
             self.idle_ticks += span
-            self.clock.advance_to(target)
-        self.timers.fire_due(self.clock.now)
+            self.cpu_idle_ticks[slot.index] += span
+        slot.next_at = target

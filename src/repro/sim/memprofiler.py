@@ -43,6 +43,10 @@ class MemProfiler:
         self.instr_by_proc_region: dict[tuple[str, str], int] = defaultdict(int)
         #: (process comm, region label) -> data references (detail axis).
         self.data_by_proc_region: dict[tuple[str, str], int] = defaultdict(int)
+        #: CPU id -> instruction reads retired on that CPU (SMP axis).
+        self.instr_by_cpu: dict[int, int] = defaultdict(int)
+        #: CPU id -> data references issued from that CPU (SMP axis).
+        self.data_by_cpu: dict[int, int] = defaultdict(int)
         self.total_instr = 0
         self.total_data = 0
         self.blocks_retired = 0
@@ -58,12 +62,15 @@ class MemProfiler:
         self.refs_by_thread.clear()
         self.instr_by_proc_region.clear()
         self.data_by_proc_region.clear()
+        self.instr_by_cpu.clear()
+        self.data_by_cpu.clear()
         self.total_instr = 0
         self.total_data = 0
         self.blocks_retired = 0
 
-    def charge(self, task: "Task", block: "ExecBlock") -> None:
-        """Attribute one retired block to the task's process/thread/VMAs."""
+    def charge(self, task: "Task", block: "ExecBlock", cpu_id: int = 0) -> None:
+        """Attribute one retired block to the task's process/thread/VMAs
+        and the retiring CPU."""
         if not self.enabled:
             return
         proc = task.process
@@ -82,6 +89,7 @@ class MemProfiler:
         self.instr_by_region[code_label] += insts
         self.instr_by_proc[comm] += insts
         self.instr_by_proc_region[(comm, code_label)] += insts
+        self.instr_by_cpu[cpu_id] += insts
 
         data_total = 0
         for addr, count in block.data:
@@ -98,10 +106,11 @@ class MemProfiler:
         if data_total:
             self.total_data += data_total
             self.data_by_proc[comm] += data_total
+            self.data_by_cpu[cpu_id] += data_total
 
         self.refs_by_thread[(comm, tname)] += insts + data_total
 
-    def charge_idle(self, comm: str, tname: str, insts: int) -> None:
+    def charge_idle(self, comm: str, tname: str, insts: int, cpu_id: int = 0) -> None:
         """Attribute idle-loop kernel work (the ``swapper`` task)."""
         if not self.enabled or insts <= 0:
             return
@@ -109,6 +118,7 @@ class MemProfiler:
         self.instr_by_region[_KERNEL] += insts
         self.instr_by_proc[comm] += insts
         self.instr_by_proc_region[(comm, _KERNEL)] += insts
+        self.instr_by_cpu[cpu_id] += insts
         self.refs_by_thread[(comm, tname)] += insts
 
     # ------------------------------------------------------------------

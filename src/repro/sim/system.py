@@ -20,19 +20,33 @@ from repro.sim.ticks import Clock
 
 
 class System:
-    """One simulated machine."""
+    """One simulated machine (``cpus`` cores sharing one memory system)."""
 
-    def __init__(self, seed: int = 1234, devices: DeviceSet | None = None) -> None:
+    def __init__(
+        self,
+        seed: int = 1234,
+        devices: DeviceSet | None = None,
+        cpus: int = 1,
+    ) -> None:
+        if cpus < 1:
+            raise ValueError(f"system needs cpus >= 1, got {cpus}")
         self.seed = seed
         self.rng = random.Random(seed)
         self.clock = Clock()
         self.profiler = MemProfiler()
-        self.cpu = AtomicCPU(self.clock, self.profiler)
+        self.cpus = [AtomicCPU(self.clock, self.profiler, cpu_id=i) for i in range(cpus)]
+        #: The boot CPU — also *the* CPU on a single-core machine.
+        self.cpu = self.cpus[0]
         self.devices = devices if devices is not None else DeviceSet()
         self.kernel = Kernel(self)
         self.engine = Engine(self)
         self.fs = Filesystem(self.kernel, self.devices.storage)
         self._booted = False
+
+    @property
+    def cpu_count(self) -> int:
+        """Number of simulated cores."""
+        return len(self.cpus)
 
     def boot_kernel(self) -> None:
         """Bring up the idle task and the standard kernel threads."""

@@ -151,6 +151,68 @@ class TestAsyncBackend:
         assert AsyncBackend(jobs=3).window == 6
         assert AsyncBackend(jobs=2, window=5).window == 5
 
+    def test_explicit_window_pins_adaptivity_off(self):
+        assert AsyncBackend(jobs=2, window=5).adaptive is False
+        assert AsyncBackend(jobs=2).adaptive is True
+
+    def test_adaptive_window_stays_within_bounds(self):
+        from repro.core.backends.async_ import WINDOW_MAX_FACTOR
+
+        backend = AsyncBackend(jobs=2)
+        runner = SuiteRunner(QUICK_CONFIG, backend=backend)
+        suite = runner.run_suite(SUBSET[:3])
+        assert suite.ids() == SUBSET[:3]
+        # The window adapted from observed result sizes, but never left
+        # [jobs, WINDOW_MAX_FACTOR * jobs].
+        assert backend._avg_result_bytes is not None
+        assert backend.jobs <= backend.window <= WINDOW_MAX_FACTOR * backend.jobs
+
+    def test_adaptive_window_shrinks_for_huge_results(self):
+        from repro.core.backends.async_ import (
+            WINDOW_TARGET_BYTES,
+            _InflightGate,
+        )
+        from repro.core.results import RunResult
+
+        backend = AsyncBackend(jobs=2)
+        gate = _InflightGate(backend.window)
+        # A result pickling to more than half the budget forces the
+        # window down to its floor (the job count)...
+        fat = RunResult(
+            bench_id="x", benchmark_comm="x", duration_ticks=1, seed=0,
+            meta={"pad": "y" * WINDOW_TARGET_BYTES},
+        )
+        backend._observe(fat, gate)
+        assert backend.window == backend.jobs
+        # ... and a stream of tiny results grows it back toward the cap
+        # as the moving average decays.
+        tiny = RunResult(
+            bench_id="x", benchmark_comm="x", duration_ticks=1, seed=0
+        )
+        for _ in range(40):
+            backend._observe(tiny, gate)
+        assert backend.window > backend.jobs
+
+    def test_inflight_gate_resize_admits_waiters(self):
+        import threading
+
+        from repro.core.backends.async_ import _InflightGate
+
+        gate = _InflightGate(1)
+        gate.acquire()
+        admitted = threading.Event()
+
+        def second():
+            gate.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=second)
+        thread.start()
+        assert not admitted.wait(0.05)      # blocked at the old limit
+        gate.resize(2)
+        assert admitted.wait(2.0)           # widened bound lets it in
+        thread.join()
+
     def test_empty_batch_is_a_noop(self):
         backend = AsyncBackend(jobs=2)
         assert backend.execute_batch([]) == []
@@ -347,6 +409,39 @@ class TestCacheGc:
         assert report.removed_entries == 0 and report.kept_entries == 1
         assert len(cache) == 1
 
+    def test_max_entries_keeps_only_the_newest(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        paths = [
+            _plant_entry(cache, bid, mtime=float(100 * (i + 1)))
+            for i, bid in enumerate(
+                ["countdown.main", "999.specrand", "401.bzip2"]
+            )
+        ]
+        report = cache.gc(max_entries=1)
+        assert not os.path.exists(paths[0])
+        assert not os.path.exists(paths[1])
+        assert os.path.exists(paths[2])
+        assert report.removed_entries == 2 and report.kept_entries == 1
+        # Already within the bound: a repeat pass is a no-op.
+        repeat = cache.gc(max_entries=1)
+        assert repeat.removed_entries == 0 and repeat.kept_entries == 1
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        paths = [
+            _plant_entry(cache, bid, mtime=float(100 * (i + 1)))
+            for i, bid in enumerate(["countdown.main", "999.specrand"])
+        ]
+        preview = cache.gc(max_bytes=0, dry_run=True)
+        assert preview.removed_entries == 2 and preview.kept_entries == 0
+        assert preview.removed_bytes > 0
+        assert all(os.path.exists(p) for p in paths)   # nothing touched
+        # The real pass then evicts exactly what the preview promised.
+        real = cache.gc(max_bytes=0)
+        assert real.removed_entries == preview.removed_entries
+        assert real.removed_bytes == preview.removed_bytes
+        assert len(cache) == 0
+
     def test_gc_preserves_stats_and_foreign_files(self, tmp_path):
         """Eviction removes run entries only: the persisted hit/miss
         counters and files the cache does not own survive untouched."""
@@ -528,6 +623,16 @@ class TestCli:
             tmp_path / "b.json"
         ).read_bytes()
 
+    def test_suite_window_flag_pins_the_async_window(self, capsys):
+        from repro.__main__ import main
+
+        argv = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--backend", "async", "--jobs", "1", "--window", "1",
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "countdown.main" in out and "999.specrand" in out
+
     def test_suite_shard_flag(self, capsys):
         from repro.__main__ import main
 
@@ -584,6 +689,30 @@ class TestCli:
         assert main(["cache", "stats", cache_dir]) == 0
         assert "entries: 0" in capsys.readouterr().out
 
+    def test_cache_gc_cli_dry_run_and_max_entries(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--duration", "0.4", "--settle-ms", "200", "suite",
+                "--cache", cache_dir,
+                "--bench", "countdown.main", "--bench", "999.specrand"]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        # Dry run previews the eviction without touching the entries.
+        assert main(["cache", "gc", cache_dir, "--max-entries", "1",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict: 1 entries" in out
+        assert main(["cache", "stats", cache_dir]) == 0
+        assert "entries: 2" in capsys.readouterr().out
+
+        # The real pass keeps exactly the newest entry.
+        assert main(["cache", "gc", cache_dir, "--max-entries", "1"]) == 0
+        assert "evicted: 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", cache_dir]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
     def test_cache_gc_requires_a_bound_and_an_existing_dir(
         self, tmp_path, capsys
     ):
@@ -597,4 +726,5 @@ class TestCli:
         present = tmp_path / "cache"
         present.mkdir()
         assert main(["cache", "gc", str(present)]) == 2
-        assert "--max-bytes and/or --max-age" in capsys.readouterr().err
+        assert "--max-bytes, --max-age and/or --max-entries" in \
+            capsys.readouterr().err

@@ -133,6 +133,51 @@ def test_deterministic_execution():
     assert build() == build()
 
 
+def test_timer_due_exactly_at_deadline_wakes_but_does_not_run(cold_system):
+    """A sleep ending exactly on the run deadline fires on the final
+    timer sweep: the task wakes runnable but gets no cycles this run."""
+    sys_ = cold_system
+    sys_.boot_kernel()
+    ran = []
+
+    def worker(task):
+        yield Sleep(millis(5))
+        ran.append(sys_.clock.now)
+        yield ExecBlock(0xC010_0000, 10)
+
+    proc = sys_.kernel.spawn_process("w", behavior=worker)
+    sys_.run_until(millis(5))
+    assert sys_.clock.now == millis(5)
+    assert not ran                                   # woken, not yet run
+    assert proc.main_task.state.value == "runnable"
+    sys_.run_for(millis(1))
+    assert ran == [millis(5)]
+
+
+def test_zero_span_idle_accrues_nothing(cold_system):
+    """run_until(now) must not charge idle time or move the clock."""
+    sys_ = cold_system
+    sys_.boot_kernel()
+    sys_.run_for(millis(2))                          # accrue some idle
+    idle_before = sys_.engine.idle_ticks
+    swapper_before = sys_.profiler.instr_by_proc.get("swapper", 0)
+    sys_.run_until(sys_.clock.now)                   # zero-span window
+    sys_.run_until(sys_.clock.now - 1)               # already-past deadline
+    assert sys_.engine.idle_ticks == idle_before
+    assert sys_.profiler.instr_by_proc.get("swapper", 0) == swapper_before
+
+
+def test_idle_without_idle_task_keeps_time_but_charges_nobody(cold_system):
+    """Before boot_kernel there is no swapper: idling must still advance
+    the clock and count idle ticks without attributing references."""
+    sys_ = cold_system
+    assert sys_.kernel.idle_task is None
+    sys_.run_for(millis(3))
+    assert sys_.clock.now == millis(3)
+    assert sys_.engine.idle_ticks == millis(3)
+    assert sys_.profiler.total_refs == 0
+
+
 def test_kernel_exec_attributed_to_kernel_region(cold_system):
     sys_ = cold_system
     sys_.boot_kernel()

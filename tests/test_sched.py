@@ -58,6 +58,45 @@ def test_remove_tolerates_absent_task():
     sched.remove(a)  # no exception
 
 
+def test_requeue_returns_to_the_running_cpu_queue():
+    sched = Scheduler(cpus=2)
+    a = make_task(sched, "a")
+    a.state = TaskState.RUNNING
+    sched.requeue(a, 1)
+    assert sched.runq_len(1) == 1 and sched.runq_len(0) == 0
+    assert sched.pick(1) is a
+
+
+def test_remove_searches_every_queue():
+    sched = Scheduler(cpus=2)
+    a = make_task(sched, "a")
+    a.state = TaskState.RUNNABLE
+    a.affinity = 1
+    sched.enqueue(a)
+    sched.remove(a)
+    assert len(sched) == 0
+
+
+def test_scheduler_rejects_zero_cpus():
+    with pytest.raises(SchedulerError):
+        Scheduler(cpus=0)
+
+
+def test_pull_takes_oldest_from_longest_queue():
+    sched = Scheduler(cpus=3)
+    tasks = []
+    for i, cpu in enumerate((1, 1, 2)):
+        t = make_task(sched, f"t{i}")
+        t.affinity = cpu
+        t.state = TaskState.RUNNABLE
+        sched.enqueue(t)
+        t.affinity = None        # queued by affinity, but free to migrate
+        tasks.append(t)
+    # cpu0 is empty; queue 1 is longest, so its oldest waiter migrates.
+    assert sched.pick(0) is tasks[0]
+    assert sched.migrations == 1
+
+
 # ---------------------------------------------------------------------------
 # TimerQueue
 
@@ -117,3 +156,14 @@ def test_fire_due_ignores_future():
     timers.add(1_000, sleeping(sched))
     assert timers.fire_due(999) == []
     assert len(timers) == 1
+
+
+def test_fire_due_at_exact_deadline_tick():
+    """A deadline is inclusive: firing at precisely that tick wakes."""
+    sched = Scheduler()
+    timers = TimerQueue()
+    t = sleeping(sched)
+    timers.add(1_000, t)
+    assert timers.fire_due(1_000) == [t]
+    assert t.state is TaskState.RUNNABLE
+    assert len(timers) == 0

@@ -1,0 +1,356 @@
+"""SMP simulation: multi-core determinism, single-core byte-identity,
+per-CPU accounting, and the cpus sweep/CLI dimension."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import __version__
+from repro.core import ResultCache, RunConfig, SuiteRunner, execute_one
+from repro.core.sweep import SweepAxis, SweepRunner, SweepSpec, parse_axis
+from repro.errors import ConfigError
+from repro.sim.ops import ExecBlock, Sleep
+from repro.sim.system import System
+from repro.sim.ticks import millis, seconds
+
+QUICK = RunConfig(duration_ticks=millis(600), settle_ticks=millis(200))
+
+
+def _result_sha(run) -> str:
+    payload = json.dumps(run.to_json_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# cpus=1 equivalence: the SMP engine must replay the single-core engine
+# byte-for-byte, and single-core configs must hit the same cache keys.
+
+
+def test_cpus_default_omitted_from_config_json():
+    """cpus=1 must serialise to the pre-SMP config JSON (same cache keys)."""
+    raw = RunConfig().to_json_dict()
+    assert "cpus" not in raw
+    assert RunConfig(cpus=1).to_json_dict() == raw
+    assert "cpus" in RunConfig(cpus=2).to_json_dict()
+
+
+def test_cpus1_cache_key_matches_pre_smp_engine():
+    """The exact key the pre-SMP engine produced for this config.
+
+    Locks the key format: a cpus=1 run must keep hitting cache entries
+    written before the SMP dimension existed.  A deliberate model change
+    bumps ``repro.__version__`` (invalidating every key), which skips
+    this anchor rather than failing it.
+    """
+    if __version__ != "1.0.0":
+        pytest.skip("cache keys intentionally rotated by a version bump")
+    cfg = RunConfig(
+        duration_ticks=seconds(1), settle_ticks=millis(200), seed=4242
+    )
+    assert ResultCache.key("countdown.main", cfg) == (
+        "3d8e8f5367c9ce3e61e257858c6a2991f2782d8ca087038a78aefd154c8f2252"
+    )
+
+
+def test_cpus1_results_match_pre_smp_engine_golden():
+    """Byte-identity with the seed (pre-refactor) engine, via recorded
+    result hashes.  Skipped after a deliberate version bump, like the
+    cache-key anchor above."""
+    if __version__ != "1.0.0":
+        pytest.skip("results intentionally changed by a version bump")
+    cfg = RunConfig(
+        duration_ticks=seconds(1), settle_ticks=millis(200), seed=4242
+    )
+    golden = {
+        "countdown.main":
+            "eb2444f9e8e17285f5356e9488660506061424e9199e75eced1342c4d5843e0e",
+        "music.mp3.view":
+            "c638a9c7e43ef54dac3854d82e6cf8c369c0a265806e54d636ac47c40b354e0e",
+    }
+    for bench_id, want in golden.items():
+        assert _result_sha(execute_one(bench_id, cfg)) == want, bench_id
+
+
+def test_cpus1_result_json_carries_no_smp_keys(quick_suite):
+    run = quick_suite.get("countdown.main")
+    raw = run.to_json_dict()
+    for key in ("cpus", "instr_by_cpu", "data_by_cpu",
+                "busy_ticks_by_cpu", "any_busy_ticks"):
+        assert key not in raw
+    # ... but the derived views still answer sensibly.
+    assert run.refs_by_cpu() == {0: run.total_refs}
+    assert run.tlp() == 1.0
+
+
+def test_system_rejects_zero_cpus():
+    with pytest.raises(ValueError):
+        System(cpus=0)
+    with pytest.raises(ConfigError):
+        RunConfig.from_json_dict({"cpus": 0})
+
+
+# ---------------------------------------------------------------------------
+# cpus>1: determinism, conservation, and per-CPU accounting
+
+
+@pytest.fixture(scope="module")
+def smp_agave():
+    """One multithreaded Agave benchmark at cpus=4."""
+    cfg = RunConfig(duration_ticks=QUICK.duration_ticks,
+                    settle_ticks=QUICK.settle_ticks, cpus=4)
+    return execute_one("music.mp3.view", cfg)
+
+
+@pytest.fixture(scope="module")
+def smp_spec():
+    """One SPEC baseline at cpus=4 (short window: SPEC is ref-dense)."""
+    cfg = RunConfig(duration_ticks=millis(150), settle_ticks=millis(100),
+                    cpus=4)
+    return execute_one("999.specrand", cfg)
+
+
+def test_smp_run_is_deterministic(smp_agave):
+    cfg = RunConfig(duration_ticks=QUICK.duration_ticks,
+                    settle_ticks=QUICK.settle_ticks, cpus=4)
+    again = execute_one("music.mp3.view", cfg)
+    assert json.dumps(again.to_json_dict(), sort_keys=True) == json.dumps(
+        smp_agave.to_json_dict(), sort_keys=True
+    )
+
+
+def test_smp_references_conserved(smp_agave):
+    """Per-CPU attribution is a partition of the totals, never a leak."""
+    assert sum(smp_agave.instr_by_cpu.values()) == smp_agave.total_instr
+    assert sum(smp_agave.data_by_cpu.values()) == smp_agave.total_data
+    assert sum(smp_agave.refs_by_cpu().values()) == smp_agave.total_refs
+
+
+def test_smp_busy_accounting_is_coherent(smp_agave):
+    """The busy-interval union is bounded by the per-CPU sum (they are
+    equal only when nothing ever overlapped) and no single CPU is busy
+    longer than the union."""
+    busy = smp_agave.busy_ticks_by_cpu
+    assert set(busy) == {0, 1, 2, 3}
+    assert 0 < smp_agave.any_busy_ticks <= sum(busy.values())
+    assert max(busy.values()) <= smp_agave.any_busy_ticks
+    assert 1.0 <= smp_agave.tlp() <= 4.0
+
+
+def test_agave_workload_spreads_across_cpus(smp_agave):
+    """The multithreaded Android stack shows real TLP at cpus=4."""
+    refs = smp_agave.refs_by_cpu()
+    assert sum(1 for v in refs.values() if v > 0) >= 2
+    assert smp_agave.tlp() > 1.0
+    # No one CPU owns everything: the stack's helper threads moved off
+    # the boot CPU.
+    assert max(refs.values()) < smp_agave.total_refs
+
+
+def test_spec_workload_stays_serial(smp_spec):
+    """A single-threaded SPEC binary cannot use the extra cores."""
+    refs = smp_spec.refs_by_cpu()
+    assert max(refs.values()) / sum(refs.values()) > 0.95
+    assert smp_spec.tlp() < 1.1
+
+
+def test_concurrency_varies_with_core_count():
+    """Core count is a real dimension of the result, not a label: the
+    same workload behaves differently at cpus=2 vs cpus=4."""
+    base = dict(duration_ticks=QUICK.duration_ticks,
+                settle_ticks=QUICK.settle_ticks)
+    two = execute_one("music.mp3.view", RunConfig(cpus=2, **base))
+    four = execute_one("music.mp3.view", RunConfig(cpus=4, **base))
+    assert two.cpus == 2 and four.cpus == 4
+    assert set(two.refs_by_cpu()) == {0, 1}
+    assert two.refs_by_cpu() != four.refs_by_cpu()
+    assert two.busy_ticks_by_cpu != four.busy_ticks_by_cpu
+
+
+def test_smp_result_roundtrips_through_json(smp_agave, tmp_path):
+    from repro.core import RunResult
+
+    raw = smp_agave.to_json_dict()
+    assert raw["cpus"] == 4
+    back = RunResult.from_json_dict(json.loads(json.dumps(raw)))
+    assert back == smp_agave
+    assert back.busy_ticks_by_cpu == smp_agave.busy_ticks_by_cpu
+
+
+def test_smp_engine_throughput_scales():
+    """Four CPU-bound spinners finish ~4x the work on four cores."""
+
+    def spin(task):
+        for _ in range(4_000):
+            yield ExecBlock(0xC010_0000, 1_000)
+
+    def run(cpus):
+        system = System(seed=3, cpus=cpus)
+        system.boot_kernel()
+        for i in range(4):
+            system.kernel.spawn_process(f"spin{i}", behavior=spin)
+        system.run_for(millis(3))
+        return system
+
+    one = run(1)
+    four = run(4)
+    assert four.profiler.total_instr > 3 * one.profiler.total_instr
+    # All four cores pulled weight, and idle shrank with the added cores.
+    busy = [cpu.busy_ticks for cpu in four.cpus]
+    assert all(b > 0 for b in busy)
+    assert four.engine.any_busy_ticks >= max(busy)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler policy: placement, affinity, pulls
+
+
+def test_affinity_pins_placement_and_blocks_stealing():
+    from repro.kernel.sched import Scheduler
+    from repro.kernel.task import Process, Task, TaskState
+
+    sched = Scheduler(cpus=2)
+    proc = Process(1, "p", mm=None)
+
+    def make(name, affinity=None):
+        task = Task(1, name, proc, behavior=None, sched=sched)
+        task.affinity = affinity
+        task.state = TaskState.RUNNABLE
+        proc.tasks.append(task)
+        return task
+
+    pinned = make("pinned", affinity=1)
+    sched.enqueue(pinned)
+    assert sched.runq_len(1) == 1 and sched.runq_len(0) == 0
+    # CPU 0 idles but may not steal a task pinned to CPU 1.
+    assert sched.pick(0) is None
+    assert sched.pick(1) is pinned
+
+    free = make("free")
+    sched.enqueue(free)          # idlest placement: both empty -> cpu 0
+    assert sched.runq_len(0) == 1
+    # CPU 1 pulls the unpinned waiter when its own queue runs dry.
+    assert sched.pick(1) is free
+    assert sched.migrations == 1
+
+
+def test_idlest_queue_placement_prefers_last_cpu():
+    from repro.kernel.sched import Scheduler
+    from repro.kernel.task import Process, Task, TaskState
+
+    sched = Scheduler(cpus=3)
+    proc = Process(1, "p", mm=None)
+    task = Task(1, "t", proc, behavior=None, sched=sched)
+    proc.tasks.append(task)
+    task.state = TaskState.RUNNABLE
+    task.last_cpu = 2
+    sched.enqueue(task)          # all queues tie at 0 -> warm cpu 2 wins
+    assert sched.runq_len(2) == 1
+
+
+def test_periodic_balance_evens_queues():
+    from repro.kernel.sched import Scheduler
+    from repro.kernel.task import Process, Task, TaskState
+
+    sched = Scheduler(cpus=2)
+    proc = Process(1, "p", mm=None)
+    for i in range(4):
+        task = Task(i, f"t{i}", proc, behavior=None, sched=sched)
+        proc.tasks.append(task)
+        task.state = TaskState.RUNNABLE
+        task.affinity = 0        # force them all onto cpu 0 first
+        sched.enqueue(task)
+        task.affinity = None     # ... then let the balancer move them
+    assert sched.runq_len(0) == 4
+    moved = sched.balance()
+    assert moved == 1 or sched.runq_len(0) - sched.runq_len(1) <= 1
+    while sched.runq_len(0) - sched.runq_len(1) >= 2:
+        assert sched.balance() > 0
+    assert abs(sched.runq_len(0) - sched.runq_len(1)) <= 1
+
+
+def test_out_of_range_affinity_degrades_to_unpinned():
+    """A 4-core pin carried onto a 2-core machine must behave like a
+    free task everywhere: idlest placement AND stealable, never placed
+    free but unmigratable."""
+    from repro.kernel.sched import Scheduler
+    from repro.kernel.task import Process, Task, TaskState
+
+    sched = Scheduler(cpus=2)
+    proc = Process(1, "p", mm=None)
+    task = Task(1, "t", proc, behavior=None, sched=sched)
+    proc.tasks.append(task)
+    task.state = TaskState.RUNNABLE
+    task.affinity = 7
+    sched.enqueue(task)
+    assert sched.runq_len(0) == 1            # idlest placement, not cpu 7
+    assert sched.pick(1) is task             # and still pullable
+    assert sched.migrations == 1
+
+
+def test_single_cpu_scheduler_never_balances():
+    from repro.kernel.sched import Scheduler
+
+    sched = Scheduler(cpus=1)
+    assert sched.balance() == 0
+    assert sched.migrations == 0
+
+
+# ---------------------------------------------------------------------------
+# The cpus sweep axis
+
+
+def test_cpus_axis_parses_and_validates():
+    axis = parse_axis("cpus=1,2,4")
+    assert axis.name == "cpus" and axis.values == (1, 2, 4)
+    with pytest.raises(ConfigError):
+        SweepAxis("cpus", (0,))
+    with pytest.raises(ConfigError):
+        SweepAxis("cpus", (1.5,))
+    with pytest.raises(ConfigError):
+        SweepAxis("cpus", (True,))
+
+
+def test_cpus_axis_sweep_runs_and_caches_per_core_count(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = SweepSpec(
+        benches=("countdown.main",),
+        axes=(SweepAxis("cpus", (1, 2)),),
+        base=RunConfig(duration_ticks=millis(300), settle_ticks=millis(150)),
+    )
+    result = SweepRunner(cache=cache).run(spec)
+    assert set(result.variants()) == {"cpus=1", "cpus=2"}
+    one = result.get("countdown.main", "cpus=1")
+    two = result.get("countdown.main", "cpus=2")
+    assert one.cpus == 1 and two.cpus == 2
+    assert "cpus" not in one.to_json_dict() and two.to_json_dict()["cpus"] == 2
+    # Distinct cache keys per core count, and both were stored.
+    assert cache.misses == 2
+    rerun = SweepRunner(cache=ResultCache(str(tmp_path))).run(spec)
+    assert rerun.to_json_dict() == result.to_json_dict()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_cpus_flag_and_smp_report(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_path = str(tmp_path / "smp.json")
+    assert main([
+        "--duration", "0.3", "--settle-ms", "150", "--cpus", "2",
+        "suite", "--bench", "countdown.main", "--out", out_path,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["smp", "--results", out_path]) == 0
+    report = capsys.readouterr().out
+    assert "TLP" in report and "cpu1" in report
+    assert "countdown.main" in report
+
+
+def test_cli_rejects_bad_cpus(capsys):
+    from repro.__main__ import main
+
+    assert main(["--cpus", "0", "suite", "--bench", "countdown.main"]) == 2
+    assert "--cpus" in capsys.readouterr().err
