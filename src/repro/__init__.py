@@ -21,13 +21,20 @@ Typical use::
 
 from repro.analysis import (
     evaluate_claims,
+    evaluate_sweep_claims,
     figure1,
     figure2,
     figure3,
     figure4,
     table1,
 )
-from repro.calibration import Calibration, use_calibration
+from repro.calibration import (
+    Calibration,
+    CpuSpec,
+    parse_cpu_profile,
+    profile_cpu_count,
+    use_calibration,
+)
 from repro.core import (
     AGAVE_IDS,
     FIGURE_ORDER,
@@ -61,6 +68,7 @@ __all__ = [
     "AsyncBackend",
     "BenchmarkSpec",
     "Calibration",
+    "CpuSpec",
     "ExecutionBackend",
     "FIGURE_ORDER",
     "ProcessPoolBackend",
@@ -79,6 +87,7 @@ __all__ = [
     "__version__",
     "benchmarks",
     "evaluate_claims",
+    "evaluate_sweep_claims",
     "execute_one",
     "figure1",
     "figure2",
@@ -86,6 +95,8 @@ __all__ = [
     "figure4",
     "get_benchmark",
     "make_backend",
+    "parse_cpu_profile",
+    "profile_cpu_count",
     "shard_ids",
     "table1",
     "use_calibration",

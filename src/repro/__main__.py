@@ -54,7 +54,7 @@ from repro.analysis.render import (
     render_table1,
 )
 from repro.analysis.smp import smp_rows
-from repro.analysis.sweep import METRICS, sweep_tables
+from repro.analysis.sweep import METRICS, resolve_metric, sweep_tables
 from repro.core import (
     BACKEND_NAMES,
     ResultCache,
@@ -69,19 +69,32 @@ from repro.core import (
     make_backend,
     parse_axis,
 )
+from repro.calibration import profile_cpu_count
 from repro.errors import ConfigError, ReproError
 from repro.sim.ticks import millis, seconds
 
 
 def _config(args: argparse.Namespace) -> RunConfig:
-    if args.cpus < 1:
-        raise ConfigError(f"--cpus must be >= 1, got {args.cpus}")
+    cpus = args.cpus
+    if cpus is not None and cpus < 1:
+        raise ConfigError(f"--cpus must be >= 1, got {cpus}")
+    profile = args.cpu_profile
+    if profile is not None:
+        count = profile_cpu_count(profile)  # parse-validates
+        if cpus is None:
+            cpus = count
+        elif cpus != count:
+            raise ConfigError(
+                f"--cpu-profile {profile} describes {count} cores "
+                f"but --cpus is {cpus}"
+            )
     return RunConfig(
         duration_ticks=seconds(args.duration),
         settle_ticks=millis(args.settle_ms),
         seed=args.seed,
         jit_enabled=not args.no_jit,
-        cpus=args.cpus,
+        cpus=cpus if cpus is not None else 1,
+        cpu_profile=profile,
     )
 
 
@@ -195,6 +208,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    resolve_metric(args.metric)  # reject a typo'd metric before simulating
     axes = tuple(parse_axis(text) for text in args.axis or [])
     ids = args.bench or [spec.bench_id for spec in benchmarks()]
     spec = SweepSpec(benches=tuple(ids), axes=axes, base=_config(args))
@@ -305,9 +319,15 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--no-jit", action="store_true",
                         help="disable the Dalvik trace JIT")
-    parser.add_argument("--cpus", type=int, default=1, metavar="N",
-                        help="simulated cores (cpus=1 reproduces the "
+    parser.add_argument("--cpus", type=int, default=None, metavar="N",
+                        help="simulated cores (default 1, or the core count "
+                             "of --cpu-profile; cpus=1 reproduces the "
                              "single-core results byte-for-byte)")
+    parser.add_argument("--cpu-profile", metavar="B+L",
+                        help="big.LITTLE core profile, e.g. 2+2 or 4+4: "
+                             "B full-speed big cores then L half-speed "
+                             "LITTLE cores, scheduled by the CFS vruntime "
+                             "policy (default: symmetric cores, round-robin)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the 25 benchmarks").set_defaults(
@@ -336,9 +356,10 @@ def make_parser() -> argparse.ArgumentParser:
                          help="sweep only this benchmark (repeatable; "
                               "default: the whole suite)")
     p_sweep.add_argument("--out", help="save sweep results JSON here")
-    p_sweep.add_argument("--metric", choices=sorted(METRICS),
-                         default="total_refs",
-                         help="metric shown in the per-axis delta tables")
+    p_sweep.add_argument("--metric", default="total_refs",
+                         help="metric shown in the per-axis delta tables: "
+                              + ", ".join(sorted(METRICS))
+                              + ", or per-core cpuN_refs/cpuN_share/cpuN_busy")
     _add_exec_flags(p_sweep, sharding=True)
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -6,7 +6,12 @@ from repro.analysis.breakdown import (
     cpu_breakdown,
     shares,
 )
-from repro.analysis.claims import Claim, evaluate_claims, failed_claims
+from repro.analysis.claims import (
+    Claim,
+    evaluate_claims,
+    evaluate_sweep_claims,
+    failed_claims,
+)
 from repro.analysis.figures import (
     build_figure,
     figure1,
@@ -29,6 +34,7 @@ from repro.analysis.sweep import (
     SweepRow,
     SweepTable,
     axis_table,
+    resolve_metric,
     sweep_tables,
 )
 from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, table1
@@ -48,6 +54,7 @@ __all__ = [
     "canonical_thread_name",
     "cpu_breakdown",
     "evaluate_claims",
+    "evaluate_sweep_claims",
     "failed_claims",
     "figure1",
     "figure2",
@@ -60,6 +67,7 @@ __all__ = [
     "render_stacked_ascii",
     "render_sweep_table",
     "render_table1",
+    "resolve_metric",
     "shares",
     "smp_row",
     "smp_rows",

@@ -2,7 +2,10 @@
 
 Each claim from the paper's prose gets a :class:`Claim` with the paper's
 value/band and the measured counterpart, so EXPERIMENTS.md and the claims
-bench print an explicit pass/fail table.
+bench print an explicit pass/fail table.  :func:`evaluate_sweep_claims`
+asserts the paper's *delta* statements (e.g. the JIT ablation) directly
+over a :class:`~repro.core.sweep.SweepResult` instead of ad-hoc pairs of
+runs.
 """
 
 from __future__ import annotations
@@ -12,9 +15,11 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.tables import table1
 from repro.core.suite import AGAVE_IDS, SPEC_IDS
+from repro.errors import AnalysisError
 
 if TYPE_CHECKING:
-    from repro.core.results import SuiteResult
+    from repro.core.results import RunResult, SuiteResult
+    from repro.core.sweep import SweepResult
 
 
 @dataclass(frozen=True)
@@ -234,3 +239,73 @@ def evaluate_claims(suite: "SuiteResult") -> list[Claim]:
 def failed_claims(suite: "SuiteResult") -> list[Claim]:
     """The claims that do not hold (empty means full reproduction)."""
     return [c for c in evaluate_claims(suite) if not c.holds]
+
+
+# ---------------------------------------------------------------------------
+# Sweep-aware claims: paper deltas measured over a SweepResult
+
+
+def _jit_pairs(sweep: "SweepResult") -> "list[dict[bool, RunResult]]":
+    """Complete jit on/off run pairs, one per (benchmark, other-axis
+    context) — the cells a JIT-delta claim is allowed to compare."""
+    pairs: "dict[tuple, dict[bool, RunResult]]" = {}
+    for (bench_id, label), run in sweep.runs.items():
+        values = sweep.variant_values.get(label)
+        if values is None or "jit" not in values:
+            continue
+        context = tuple(
+            (name, value) for name, value in values.items() if name != "jit"
+        )
+        pairs.setdefault((bench_id, context), {})[bool(values["jit"])] = run
+    return [pair for pair in pairs.values() if True in pair and False in pair]
+
+
+def evaluate_sweep_claims(sweep: "SweepResult") -> list[Claim]:
+    """Evaluate delta claims over a sweep's grid.
+
+    Today that is the JIT ablation (the grid must sweep a ``jit`` axis
+    over both values): disabling the trace JIT must *collapse* the
+    ``dalvik-jit-code-cache`` instruction region to zero and retire the
+    Compiler thread, while the JIT-on cells keep a visible code-cache
+    share — asserted across every (benchmark, context) pair of the grid
+    at once rather than over one hand-picked run pair.
+    """
+    pairs = _jit_pairs(sweep)
+    if not pairs:
+        raise AnalysisError(
+            "sweep claims need a 'jit' axis with both on and off cells; "
+            f"swept axes: {', '.join(sweep.axes) or '-'}"
+        )
+    jit_region = "dalvik-jit-code-cache"
+    on_shares = [100.0 * p[True].region_share(jit_region) for p in pairs]
+    off_shares = [100.0 * p[False].region_share(jit_region) for p in pairs]
+    compiler_refs_off = [
+        p[False].refs_by_thread.get((p[False].benchmark_comm, "Compiler"), 0)
+        for p in pairs
+    ]
+    return [
+        Claim(
+            "sweep-jit-cache-collapse",
+            "Disabling the JIT erases the dalvik-jit-code-cache "
+            "instruction region (max share across the jit=off cells)",
+            "0%",
+            max(off_shares),
+            0.0, 0.01,
+        ),
+        Claim(
+            "sweep-jit-cache-present",
+            "With the JIT on, traces execute from dalvik-jit-code-cache "
+            "(max share across the jit=on cells)",
+            "> 0%",
+            max(on_shares),
+            0.005, 40.0,
+        ),
+        Claim(
+            "sweep-jit-compiler-retired",
+            "Disabling the JIT retires the Compiler thread "
+            "(max references across the jit=off cells)",
+            "0",
+            float(max(compiler_refs_off)),
+            0.0, 0.0,
+        ),
+    ]

@@ -67,27 +67,35 @@ def render_stacked_ascii(fig: StackedBreakdown, bar_width: int = 50) -> str:
 
 def render_smp_table(rows: "Iterable[SmpRow]", width: int = 22) -> str:
     """Per-benchmark core utilisation: TLP, active CPUs, and the share of
-    references retired on the dominant CPU."""
+    references retired on the dominant CPU.  Suites holding any
+    big.LITTLE runs grow profile and big-core-share columns."""
+    rows = list(rows)
+    asymmetric = any(row.cpu_profile is not None for row in rows)
     out = io.StringIO()
     header = (
         "benchmark".ljust(width)
         + "cpus".rjust(6)
+        + ("profile".rjust(9) if asymmetric else "")
         + "TLP".rjust(8)
         + "active".rjust(8)
         + "top-cpu %".rjust(11)
+        + ("big %".rjust(8) if asymmetric else "")
         + "refs".rjust(16)
     )
     out.write(header + "\n")
     out.write("-" * len(header) + "\n")
     for row in rows:
-        out.write(
-            f"{row.bench_id:<{width}}"
-            f"{row.cpus:>6}"
+        line = f"{row.bench_id:<{width}}{row.cpus:>6}"
+        if asymmetric:
+            line += f"{row.cpu_profile or '-':>9}"
+        line += (
             f"{row.tlp:>8.2f}"
             f"{row.active_cpus:>8}"
             f"{100 * row.busiest_share:>11.1f}"
-            f"{row.total_refs:>16,}\n"
         )
+        if asymmetric:
+            line += f"{100 * row.big_share:>8.1f}"
+        out.write(line + f"{row.total_refs:>16,}\n")
     return out.getvalue()
 
 

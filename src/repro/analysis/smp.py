@@ -37,6 +37,10 @@ class SmpRow:
     any_busy_ticks: int
     #: Average CPUs busy while at least one was busy.
     tlp: float
+    #: big.LITTLE profile of the run (None = symmetric cores).
+    cpu_profile: "str | None" = None
+    #: Fraction of references retired on big cores (1.0 when symmetric).
+    big_share: float = 1.0
 
     @property
     def busiest_share(self) -> float:
@@ -60,6 +64,8 @@ def smp_row(run: "RunResult") -> SmpRow:
         busy_by_cpu=dict(run.busy_ticks_by_cpu),
         any_busy_ticks=run.any_busy_ticks,
         tlp=run.tlp(),
+        cpu_profile=run.cpu_profile,
+        big_share=run.big_refs_share(),
     )
 
 

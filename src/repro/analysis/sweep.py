@@ -10,6 +10,7 @@ X% of instruction fetches back into libdvm.so").
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -32,7 +33,49 @@ METRICS: "dict[str, Callable[[RunResult], float]]" = {
     # least one CPU retiring); pair either with a cpus=... sweep axis.
     "tlp": lambda run: run.tlp(),
     "any_busy_ticks": lambda run: float(run.any_busy_ticks),
+    # big.LITTLE axis: percent of references retired on big cores
+    # (100 on a symmetric machine); pair with a cpu_profile=... axis.
+    "big_refs_share": lambda run: 100.0 * run.big_refs_share(),
 }
+
+#: Per-core metric pattern: ``cpu<N>_refs`` (references retired on core
+#: N), ``cpu<N>_share`` (their percent of all references) and
+#: ``cpu<N>_busy`` (core N's busy ticks).
+_CPU_METRIC = re.compile(r"cpu(\d+)_(refs|share|busy)")
+
+
+def _cpu_metric(cpu_id: int, kind: str) -> "Callable[[RunResult], float]":
+    if kind == "refs":
+        return lambda run: float(run.refs_by_cpu().get(cpu_id, 0))
+    if kind == "busy":
+        return lambda run: float(run.busy_ticks_by_cpu.get(cpu_id, 0))
+
+    def share(run: "RunResult") -> float:
+        refs = run.refs_by_cpu()
+        total = sum(refs.values())
+        return 100.0 * refs.get(cpu_id, 0) / total if total else 0.0
+
+    return share
+
+
+def resolve_metric(name: str) -> "Callable[[RunResult], float]":
+    """Look up a named metric, including the per-core ``cpuN_*`` family.
+
+    The per-core metrics put one core's column into any delta table —
+    e.g. ``--metric cpu0_share`` across a ``cpu_profile=none,2+2`` axis
+    shows how much of the workload the first big core absorbs.
+    """
+    try:
+        return METRICS[name]
+    except KeyError:
+        pass
+    match = _CPU_METRIC.fullmatch(name)
+    if match is not None:
+        return _cpu_metric(int(match.group(1)), match.group(2))
+    raise AnalysisError(
+        f"unknown sweep metric {name!r}; known: {', '.join(sorted(METRICS))}, "
+        f"cpu<N>_refs, cpu<N>_share, cpu<N>_busy"
+    )
 
 
 @dataclass(frozen=True)
@@ -81,12 +124,7 @@ def axis_table(
         raise AnalysisError(
             f"no axis {axis!r} in sweep; swept: {', '.join(result.axes) or '-'}"
         )
-    try:
-        measure = METRICS[metric]
-    except KeyError:
-        raise AnalysisError(
-            f"unknown sweep metric {metric!r}; known: {', '.join(METRICS)}"
-        ) from None
+    measure = resolve_metric(metric)
 
     axis_order = list(result.axes)
     other_names = [name for name in axis_order if name != axis]

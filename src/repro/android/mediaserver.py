@@ -147,8 +147,12 @@ class MediaPlayerService:
         # Stagefright decode runs on a TimedEventQueue thread.
         self._next_worker += 1
         kernel.spawn_thread(proc, "TimedEventQueue", self._decode_loop(session))
+        # The PCM feeder follows the mixer onto the big cluster (audio
+        # underruns are what big.LITTLE pinning exists to prevent).
         kernel.spawn_thread(
-            proc, "AudioTrackThread", audiotrack_thread(track, session.decode_buf)
+            proc, "AudioTrackThread",
+            audiotrack_thread(track, session.decode_buf),
+            affinity=self.system.big_cpu(1), nice=-16,
         )
         txn.reply["session"] = session
 
@@ -256,6 +260,12 @@ def boot_mediaserver(
 
     host = BinderHost(kernel, proc, nthreads=3)
     af = AudioFlinger(system, proc)
-    kernel.spawn_thread(proc, "AudioOut_1", af.mixer_behavior)
+    # The mixer is the audio pipeline's deadline thread: BSPs park it on
+    # a big core (the second one, away from SurfaceFlinger) at elevated
+    # priority.  big_cpu() is None on symmetric machines — no pin.
+    kernel.spawn_thread(
+        proc, "AudioOut_1", af.mixer_behavior,
+        affinity=system.big_cpu(1), nice=-16,
+    )
     mps = MediaPlayerService(system, proc, host, af, sf, registry)
     return MediaServerHandle(proc, host, af, mps)

@@ -72,7 +72,13 @@ def boot_system_server(
         jit_enabled=jit_enabled,
     )
     sf = SurfaceFlinger(system, proc)
-    kernel.spawn_thread(proc, "SurfaceFlinger", sf.thread_behavior)
+    # Vendor BSPs pin the composition thread onto the big cluster (and
+    # run it above nice 0); on a symmetric machine big_cpu() is None and
+    # placement is untouched.
+    kernel.spawn_thread(
+        proc, "SurfaceFlinger", sf.thread_behavior,
+        affinity=system.big_cpu(0), nice=-8,
+    )
     host = BinderHost(kernel, proc, nthreads=8)
     handle = SystemServerHandle(proc, ctx, host, sf, methods)
     handle_box.append(handle)

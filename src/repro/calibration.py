@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class Calibration:
@@ -96,6 +98,75 @@ class Calibration:
 #: Mutable singleton consulted by the stack.  The runner swaps it for the
 #: duration of ablation runs via :func:`use_calibration`.
 CAL = Calibration()
+
+
+# ---------------------------------------------------------------------------
+# CPU profiles (big.LITTLE-style asymmetric core speeds)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One simulated core's speed and scheduling capacity.
+
+    *ticks_per_inst* is the integer cycle time of the atomic CPU (the
+    symmetric default is 1 tick per instruction — 1 GHz in the tick
+    base); *capacity* is the Linux-style relative capacity the
+    capacity-aware scheduler weighs placement with (1024 = a big core).
+    """
+
+    ticks_per_inst: int = 1
+    capacity: int = 1024
+
+    @property
+    def is_big(self) -> bool:
+        """True for full-capacity (big-cluster) cores."""
+        return self.capacity >= BIG_CAPACITY
+
+
+#: Scheduling capacity of a big core (Linux's SCHED_CAPACITY_SCALE).
+BIG_CAPACITY = 1024
+#: A LITTLE core: half the clock of a big core, half the capacity —
+#: the in-order/OoO gap of e.g. an A53/A57 pair, coarsely.
+LITTLE_TICKS_PER_INST = 2
+LITTLE_CAPACITY = 512
+
+_BIG_SPEC = CpuSpec(ticks_per_inst=1, capacity=BIG_CAPACITY)
+_LITTLE_SPEC = CpuSpec(
+    ticks_per_inst=LITTLE_TICKS_PER_INST, capacity=LITTLE_CAPACITY
+)
+
+
+def parse_cpu_profile(profile: str) -> tuple[CpuSpec, ...]:
+    """Expand a ``"B+L"`` big.LITTLE profile into per-CPU specs.
+
+    ``"4+4"`` is four big cores followed by four LITTLE cores (big cores
+    take the low CPU ids, matching the common vendor numbering); ``"2+2"``
+    is the classic quad big.LITTLE half.  ``"0+4"`` (all LITTLE) and
+    ``"4+0"`` (all big, i.e. symmetric speeds but scheduled by the CFS
+    queue) are valid degenerate forms.
+    """
+    big_text, sep, little_text = profile.partition("+")
+    if not sep:
+        raise ConfigError(
+            f"bad cpu profile {profile!r}: expected BIG+LITTLE core counts "
+            f"(e.g. 4+4 or 2+2)"
+        )
+    try:
+        big, little = int(big_text), int(little_text)
+    except ValueError:
+        raise ConfigError(
+            f"bad cpu profile {profile!r}: core counts must be integers"
+        ) from None
+    if big < 0 or little < 0 or big + little < 1:
+        raise ConfigError(
+            f"bad cpu profile {profile!r}: needs at least one core"
+        )
+    return (_BIG_SPEC,) * big + (_LITTLE_SPEC,) * little
+
+
+def profile_cpu_count(profile: str) -> int:
+    """The number of cores a profile describes."""
+    return len(parse_cpu_profile(profile))
 
 
 class use_calibration:

@@ -80,6 +80,8 @@ class RunResult:
     #: Ticks during which at least one CPU was busy (union of busy
     #: intervals) — the denominator of the TLP metric.
     any_busy_ticks: int = 0
+    #: big.LITTLE profile the run executed under (None = symmetric).
+    cpu_profile: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -99,6 +101,7 @@ class RunResult:
         data_by_cpu: dict[int, int] | None = None,
         busy_ticks_by_cpu: dict[int, int] | None = None,
         any_busy_ticks: int = 0,
+        cpu_profile: str | None = None,
     ) -> "RunResult":
         """Snapshot the profiler into a result."""
         return cls(
@@ -121,6 +124,7 @@ class RunResult:
             data_by_cpu=dict(data_by_cpu or {}),
             busy_ticks_by_cpu=dict(busy_ticks_by_cpu or {}),
             any_busy_ticks=any_busy_ticks,
+            cpu_profile=cpu_profile,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +214,31 @@ class RunResult:
         total = sum(self.busy_ticks_by_cpu.values())
         return self.busy_ticks_by_cpu.get(cpu_id, 0) / total if total else 0.0
 
+    def big_cpu_ids(self) -> list[int]:
+        """CPU ids of the big cores under this run's profile.
+
+        Every CPU counts as big on a symmetric run (no profile), so
+        big-share metrics degrade to 1.0 rather than 0/0.
+        """
+        if self.cpu_profile is None:
+            return list(range(self.cpus))
+        from repro.calibration import parse_cpu_profile
+
+        return [
+            cpu_id
+            for cpu_id, spec in enumerate(parse_cpu_profile(self.cpu_profile))
+            if spec.is_big
+        ]
+
+    def big_refs_share(self) -> float:
+        """Fraction of references retired on big cores."""
+        refs = self.refs_by_cpu()
+        total = sum(refs.values())
+        if not total:
+            return 0.0
+        bigs = set(self.big_cpu_ids())
+        return sum(v for cpu_id, v in refs.items() if cpu_id in bigs) / total
+
     def effective_region_count(
         self, coverage: float = 0.99, instr: bool = True
     ) -> int:
@@ -265,6 +294,8 @@ class RunResult:
             out["data_by_cpu"] = _encode_cpus(self.data_by_cpu)
             out["busy_ticks_by_cpu"] = _encode_cpus(self.busy_ticks_by_cpu)
             out["any_busy_ticks"] = self.any_busy_ticks
+        if self.cpu_profile is not None:
+            out["cpu_profile"] = self.cpu_profile
         return out
 
     @classmethod
@@ -290,6 +321,7 @@ class RunResult:
             data_by_cpu=_decode_cpus(raw.get("data_by_cpu", {})),
             busy_ticks_by_cpu=_decode_cpus(raw.get("busy_ticks_by_cpu", {})),
             any_busy_ticks=raw.get("any_busy_ticks", 0),
+            cpu_profile=raw.get("cpu_profile"),
         )
 
 
@@ -393,6 +425,10 @@ class ResultCache:
         self.misses = 0
         self._flushed_hits = 0
         self._flushed_misses = 0
+        #: Entry name -> unix time of this session's latest hit (merged
+        #: into the stats file by :meth:`flush_stats`; GC prefers
+        #: evicting the least-recently-used entry among equal ages).
+        self._session_last_hits: dict[str, float] = {}
         self.sweep_stale_tmp()
 
     # ------------------------------------------------------------------
@@ -438,6 +474,7 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._session_last_hits[os.path.basename(path)] = time.time()
         return result
 
     def put(self, bench_id: str, cfg: "RunConfig", result: RunResult) -> None:
@@ -514,29 +551,36 @@ class ResultCache:
         older than ``now - max_age``; *max_entries* then evicts
         oldest-first until at most that many survive; *max_bytes* last,
         until the survivors fit the budget.  Eviction order is mtime
-        ascending with the entry name as tie-break, so repeated passes
-        evict deterministically.  Only run entries (hex-keyed ``.json``
-        files) are candidates: the stats file (hit/miss counters survive
-        a GC pass), in-flight tmp files, and foreign files parked in the
-        directory are never touched.  An entry whose unlink fails is
-        reported as kept, and with every bound ``None`` the pass is a
-        no-op report.
+        ascending, then — among entries of equal age — least recently
+        *used* first (per-entry last-hit timestamps from the stats file,
+        never-hit entries oldest of all), then the entry name, so
+        repeated passes evict deterministically and a warm entry
+        outlives a cold one written in the same batch.  Only run entries
+        (hex-keyed ``.json`` files) are candidates: the stats file
+        (hit/miss counters survive a GC pass), in-flight tmp files, and
+        foreign files parked in the directory are never touched.  An
+        entry whose unlink fails is reported as kept, and with every
+        bound ``None`` the pass is a no-op report.
 
         *dry_run* reports what the same bounds *would* evict without
         unlinking anything — the report reads exactly like a real pass.
         """
-        entries: list[tuple[float, str, int]] = []
+        last_hits = self._read_persisted_stats()["last_hit"]
+        last_hits.update(self._session_last_hits)
+        entries: list[tuple[float, float, str, int]] = []
         for name in self._entry_names():
             try:
                 info = os.stat(os.path.join(self.root, name))
             except OSError:
                 continue
-            entries.append((info.st_mtime, name, info.st_size))
+            entries.append(
+                (info.st_mtime, last_hits.get(name, 0.0), name, info.st_size)
+            )
         entries.sort()
         if now is None:
             now = time.time()
 
-        doomed: list[tuple[float, str, int]] = []
+        doomed: list[tuple[float, float, str, int]] = []
         kept = entries
         if max_age is not None:
             cutoff = now - max_age
@@ -546,16 +590,16 @@ class ResultCache:
             while len(kept) > max(max_entries, 0):
                 doomed.append(kept.pop(0))
         if max_bytes is not None:
-            kept_bytes = sum(size for _, _, size in kept)
+            kept_bytes = sum(size for *_, size in kept)
             while kept and kept_bytes > max_bytes:
                 oldest = kept.pop(0)
                 doomed.append(oldest)
-                kept_bytes -= oldest[2]
+                kept_bytes -= oldest[3]
 
         removed_entries = removed_bytes = 0
         survivors = list(kept)
         for entry in doomed:
-            _, name, size = entry
+            _, _, name, size = entry
             if not dry_run:
                 try:
                     os.unlink(os.path.join(self.root, name))
@@ -565,27 +609,37 @@ class ResultCache:
                     # directory state.
                     survivors.append(entry)
                     continue
+                self._session_last_hits.pop(name, None)
             removed_entries += 1
             removed_bytes += size
         return GcReport(
             removed_entries=removed_entries,
             removed_bytes=removed_bytes,
             kept_entries=len(survivors),
-            kept_bytes=sum(size for _, _, size in survivors),
+            kept_bytes=sum(size for *_, size in survivors),
         )
 
     def flush_stats(self) -> None:
-        """Merge this session's hit/miss counters into the persisted
-        stats file (atomic replace; concurrent writers may undercount,
-        never corrupt)."""
+        """Merge this session's hit/miss counters and per-entry last-hit
+        timestamps into the persisted stats file (atomic replace;
+        concurrent writers may undercount, never corrupt).
+
+        The last-hit map is pruned to entries still on disk so the
+        stats file cannot grow without bound as runs are evicted."""
         new_hits = self.hits - self._flushed_hits
         new_misses = self.misses - self._flushed_misses
         if not new_hits and not new_misses:
             return
         persisted = self._read_persisted_stats()
+        last_hit = persisted["last_hit"]
+        last_hit.update(self._session_last_hits)
+        present = set(self._entry_names())
         payload = {
             "hits": persisted["hits"] + new_hits,
             "misses": persisted["misses"] + new_misses,
+            "last_hit": {
+                name: ts for name, ts in last_hit.items() if name in present
+            },
         }
         path = os.path.join(self.root, self.STATS_FILE)
         tmp = path + f".tmp.{os.getpid()}"
@@ -595,15 +649,23 @@ class ResultCache:
         self._flushed_hits = self.hits
         self._flushed_misses = self.misses
 
-    def _read_persisted_stats(self) -> dict[str, int]:
+    def _read_persisted_stats(self) -> dict:
         path = os.path.join(self.root, self.STATS_FILE)
         try:
             with open(path, encoding="utf-8") as fh:
                 raw = json.load(fh)
-            return {"hits": int(raw["hits"]), "misses": int(raw["misses"])}
+            last_hit = {
+                str(name): float(ts)
+                for name, ts in raw.get("last_hit", {}).items()
+            }
+            return {
+                "hits": int(raw["hits"]),
+                "misses": int(raw["misses"]),
+                "last_hit": last_hit,
+            }
         except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError,
-                ValueError):
-            return {"hits": 0, "misses": 0}
+                ValueError, AttributeError):
+            return {"hits": 0, "misses": 0, "last_hit": {}}
 
     def stats(self) -> CacheStats:
         """Entries/bytes on disk plus lifetime hit/miss counters."""

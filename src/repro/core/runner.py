@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.android.app import start_activity
 from repro.android.boot import boot_android
-from repro.calibration import Calibration, use_calibration
+from repro.calibration import Calibration, profile_cpu_count, use_calibration
 from repro.core.backends.base import shortfall_error
 from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.core.spec import BenchmarkSpec
@@ -58,6 +58,10 @@ class RunConfig:
     calibration: Calibration | None = None
     #: Simulated cores (the SMP dimension).
     cpus: int = 1
+    #: big.LITTLE core profile (e.g. ``"2+2"``); selects asymmetric core
+    #: speeds and the CFS vruntime scheduler.  ``None`` keeps the
+    #: symmetric round-robin reproducibility path.
+    cpu_profile: str | None = None
 
     def scaled(self, factor: float) -> "RunConfig":
         """A config with the window scaled by *factor*.
@@ -75,11 +79,15 @@ class RunConfig:
 
         ``cpus`` is omitted at its default of 1 so single-core configs
         keep the exact JSON — and therefore the exact cache keys — they
-        had before the SMP dimension existed.
+        had before the SMP dimension existed; ``cpu_profile`` is omitted
+        at its default of None for the same reason (symmetric configs
+        keep their pre-big.LITTLE keys).
         """
         raw = asdict(self)
         if self.cpus == 1:
             del raw["cpus"]
+        if self.cpu_profile is None:
+            del raw["cpu_profile"]
         return raw
 
     @classmethod
@@ -103,6 +111,13 @@ class RunConfig:
             )
         if cfg.cpus < 1:
             raise ConfigError(f"cpus must be >= 1, got {cfg.cpus}")
+        if cfg.cpu_profile is not None:
+            count = profile_cpu_count(cfg.cpu_profile)  # parse-validates
+            if count != cfg.cpus:
+                raise ConfigError(
+                    f"cpu_profile {cfg.cpu_profile!r} describes {count} "
+                    f"cores but cpus={cfg.cpus}"
+                )
         return cfg
 
 
@@ -131,7 +146,7 @@ def execute_one(bench_id: str, cfg: RunConfig) -> RunResult:
 
 def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
     seed = bench_seed(spec.bench_id, cfg)
-    system = System(seed=seed, cpus=cfg.cpus)
+    system = System(seed=seed, cpus=cfg.cpus, cpu_profile=cfg.cpu_profile)
     stack = boot_android(system, jit_enabled=cfg.jit_enabled)
 
     if spec.is_android:
@@ -186,6 +201,8 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
             },
             "any_busy_ticks": system.engine.any_busy_ticks - any_busy_at_open,
         }
+    if cfg.cpu_profile is not None:
+        smp["cpu_profile"] = cfg.cpu_profile
     return RunResult.from_profiler(
         bench_id=spec.bench_id,
         benchmark_comm=comm,

@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
-from repro.calibration import Calibration
+from repro.calibration import Calibration, profile_cpu_count
 from repro.core.results import ResultCache, RunResult
 from repro.core.runner import RunConfig, dedup_ids, execute_with_cache
 from repro.core.suite import get_benchmark
@@ -39,6 +39,7 @@ AXIS_SEED = "seed"
 AXIS_JIT = "jit"
 AXIS_DURATION = "duration"
 AXIS_CPUS = "cpus"
+AXIS_CPU_PROFILE = "cpu_profile"
 CAL_PREFIX = "cal."
 
 _CAL_FIELDS = {f.name for f in fields(Calibration)}
@@ -46,6 +47,8 @@ _CAL_FIELDS = {f.name for f in fields(Calibration)}
 
 def format_axis_value(value: object) -> str:
     """The canonical short form of one axis value (used in labels)."""
+    if value is None:
+        return "none"
     if isinstance(value, bool):
         return "on" if value else "off"
     if isinstance(value, float):
@@ -74,6 +77,9 @@ class SweepAxis:
     - ``jit`` — booleans (CLI spelling ``on``/``off``).
     - ``duration`` — positive scale factors applied to the base window.
     - ``cpus`` — simulated core counts (integers >= 1, the SMP axis).
+    - ``cpu_profile`` — big.LITTLE profiles (``"2+2"``-style strings; a
+      profile also sets ``cpus`` to its core count) or ``None``
+      (CLI spelling ``none``) for the symmetric default.
     - ``cal.<field>`` — numeric overrides of one
       :class:`~repro.calibration.Calibration` field.
     """
@@ -101,6 +107,15 @@ class SweepAxis:
             if not all(isinstance(v, int) and not isinstance(v, bool) and v >= 1
                        for v in self.values):
                 raise ConfigError("cpus axis values must be integers >= 1")
+        elif self.name == AXIS_CPU_PROFILE:
+            for v in self.values:
+                if v is None:
+                    continue
+                if not isinstance(v, str):
+                    raise ConfigError(
+                        "cpu_profile axis values must be strings or None"
+                    )
+                profile_cpu_count(v)  # parse-validates the profile
         elif self.name.startswith(CAL_PREFIX):
             cal_field = self.name[len(CAL_PREFIX):]
             if cal_field not in _CAL_FIELDS:
@@ -114,7 +129,8 @@ class SweepAxis:
         else:
             raise ConfigError(
                 f"unknown axis {self.name!r}; known: {AXIS_SEED}, {AXIS_JIT}, "
-                f"{AXIS_DURATION}, {AXIS_CPUS}, {CAL_PREFIX}<field>"
+                f"{AXIS_DURATION}, {AXIS_CPUS}, {AXIS_CPU_PROFILE}, "
+                f"{CAL_PREFIX}<field>"
             )
 
     def apply(self, cfg: RunConfig, value: object) -> RunConfig:
@@ -126,7 +142,23 @@ class SweepAxis:
         if self.name == AXIS_DURATION:
             return cfg.scaled(value)
         if self.name == AXIS_CPUS:
+            # A profile pins its own core count; silently keeping both
+            # would mint a config that only explodes mid-simulation.
+            if cfg.cpu_profile is not None \
+                    and profile_cpu_count(cfg.cpu_profile) != value:
+                raise ConfigError(
+                    f"cpus axis value {value} conflicts with cpu_profile "
+                    f"{cfg.cpu_profile!r} ({profile_cpu_count(cfg.cpu_profile)}"
+                    f" cores); sweep one of the two, not both"
+                )
             return replace(cfg, cpus=value)
+        if self.name == AXIS_CPU_PROFILE:
+            if value is None:
+                return replace(cfg, cpu_profile=None)
+            # A profile pins the core count too: "2+2" is a 4-core
+            # machine whatever the base config said.
+            return replace(cfg, cpu_profile=value,
+                           cpus=profile_cpu_count(value))
         base_cal = cfg.calibration if cfg.calibration is not None else Calibration()
         return replace(
             cfg,
@@ -139,7 +171,8 @@ def parse_axis(text: str) -> SweepAxis:
 
     ``jit`` accepts ``on/off/true/false``; ``seed`` and ``cpus`` parse
     integers; ``duration`` and ``cal.*`` parse numbers (int kept when
-    exact).
+    exact); ``cpu_profile`` keeps its values as strings, with ``none``
+    naming the symmetric default.
     """
     name, sep, values_text = text.partition("=")
     if not sep or not name or not values_text:
@@ -152,7 +185,9 @@ def parse_axis(text: str) -> SweepAxis:
         raise ConfigError(f"axis spec {text!r} has no values")
     parsed: list = []
     for raw in raw_values:
-        if name == AXIS_JIT:
+        if name == AXIS_CPU_PROFILE:
+            parsed.append(None if raw.lower() == "none" else raw)
+        elif name == AXIS_JIT:
             lowered = raw.lower()
             if lowered in ("on", "true", "1"):
                 parsed.append(True)

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Callable, Iterator
 from repro.errors import TaskError
 from repro.kernel.addrspace import AddressSpace
 from repro.kernel.loader import Loader
-from repro.kernel.sched import Scheduler, TimerQueue
+from repro.kernel.sched import CfsScheduler, Scheduler, TimerQueue
 from repro.kernel.task import Process, Task, TaskState
 from repro.kernel.waitq import WaitQueue
 
@@ -30,7 +30,17 @@ class Kernel:
 
     def __init__(self, system: "System") -> None:
         self.system = system
-        self.sched = Scheduler(cpus=len(system.cpus))
+        # A named cpu_profile selects the CFS vruntime policy with the
+        # profile's per-core capacities; the default stays round-robin
+        # (the byte-identity contract with pre-profile results).
+        specs = getattr(system, "cpu_specs", None)
+        if specs is not None:
+            self.sched: Scheduler = CfsScheduler(
+                cpus=len(system.cpus),
+                capacities=tuple(spec.capacity for spec in specs),
+            )
+        else:
+            self.sched = Scheduler(cpus=len(system.cpus))
         self.timers = TimerQueue()
         self.loader = Loader()
         self.processes: list[Process] = []
@@ -167,17 +177,22 @@ class Kernel:
         behavior: BehaviorLike,
         with_stack: bool = True,
         affinity: int | None = None,
+        nice: int = 0,
     ) -> Task:
         """clone(CLONE_VM): add a thread to *proc* sharing its mm.
 
         *affinity* pins the thread to one CPU: wakeups always land on
         that CPU's runqueue and load balancing never migrates it.
+        *nice* sets the CFS weight (inert under the round-robin policy,
+        so default runs are unaffected by niced service threads).
         """
         stack_vma = None
         if with_stack and proc.mm is not None:
             stack_vma = proc.mm.map_thread_stack()
         task = Task(self._alloc_id(), name, proc, None, self.sched, stack_vma)
         task.affinity = affinity
+        if nice:
+            task.set_nice(nice)
         task.spawn_time = self.system.clock.now
         proc.tasks.append(task)
         self.threads_spawned += 1

@@ -56,6 +56,10 @@ class Task:
         "cpu_ticks",
         "affinity",
         "last_cpu",
+        "nice",
+        "weight",
+        "vruntime",
+        "quantum_used",
     )
 
     def __init__(
@@ -87,6 +91,17 @@ class Task:
         self.affinity: int | None = None
         #: CPU the task last ran on (warm-placement tie-break).
         self.last_cpu: int | None = None
+        #: CFS niceness (-20..19); the scheduler derives ``weight`` from it.
+        self.nice: int = 0
+        #: CFS load weight (nice 0 = 1024); consulted only by the
+        #: vruntime scheduler, inert under the round-robin policy.
+        self.weight: int = 1024
+        #: Weighted virtual runtime in ticks (CFS ordering key).
+        self.vruntime: int = 0
+        #: Ticks consumed of the current timeslice.  Survives preemption
+        #: and migration — a task pulled to another CPU resumes the
+        #: remainder of its quantum, not a fresh one.
+        self.quantum_used: int = 0
 
     # ------------------------------------------------------------------
 
@@ -103,6 +118,13 @@ class Task:
     def set_name(self, name: str) -> None:
         """Rename the thread (names kept in full, unlike process comms)."""
         self.name = name
+
+    def set_nice(self, nice: int) -> None:
+        """Set the CFS niceness and re-derive the load weight."""
+        from repro.kernel.sched import weight_for_nice
+
+        self.nice = nice
+        self.weight = weight_for_nice(nice)
 
     def make_runnable(self) -> None:
         """Move the task onto the run queue (wakeup path)."""

@@ -1,17 +1,21 @@
 """Atomic CPU model.
 
 Mirrors gem5's ``AtomicSimpleCPU`` as used by the paper: no caches, no
-pipeline — every instruction retires in one cycle and every reference is
-counted and attributed immediately.  The CPU is intentionally thin; the
-interesting state lives in the profiler and the kernel.
+pipeline — every instruction retires in a fixed integer number of ticks
+and every reference is counted and attributed immediately.  The default
+core retires one instruction per tick (1 GHz in the tick base); a
+big.LITTLE ``cpu_profile`` hands LITTLE cores a larger ``ticks_per_inst``
+so the same block occupies them longer.  The CPU is intentionally thin;
+the interesting state lives in the profiler and the kernel.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.calibration import CpuSpec
 from repro.sim.memprofiler import MemProfiler
-from repro.sim.ticks import Clock, insts_to_ticks
+from repro.sim.ticks import TICKS_PER_INST, Clock
 
 if TYPE_CHECKING:
     from repro.kernel.task import Task
@@ -21,10 +25,22 @@ if TYPE_CHECKING:
 class AtomicCPU:
     """Functional CPU: charges blocks to the clock and the profiler."""
 
-    def __init__(self, clock: Clock, profiler: MemProfiler, cpu_id: int = 0) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        profiler: MemProfiler,
+        cpu_id: int = 0,
+        spec: CpuSpec | None = None,
+    ) -> None:
         self.clock = clock
         self.profiler = profiler
         self.cpu_id = cpu_id
+        #: Speed/capacity of this core (symmetric default when omitted).
+        self.spec = spec if spec is not None else CpuSpec(
+            ticks_per_inst=TICKS_PER_INST
+        )
+        self.ticks_per_inst = self.spec.ticks_per_inst
+        self.capacity = self.spec.capacity
         self.insts_retired = 0
         self.blocks_executed = 0
         #: Ticks this CPU spent retiring blocks (the SMP busy-time axis).
@@ -35,7 +51,7 @@ class AtomicCPU:
         self.profiler.charge(task, block, self.cpu_id)
         self.insts_retired += block.insts
         self.blocks_executed += 1
-        ticks = insts_to_ticks(block.insts)
+        ticks = block.insts * self.ticks_per_inst
         task.cpu_ticks += ticks
         self.busy_ticks += ticks
         return ticks

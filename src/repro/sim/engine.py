@@ -16,6 +16,11 @@ on — a run is a pure function of ``(bench_id, RunConfig)``):
   re-picks) and then by lowest CPU id.
 * Wake placement, idle pulls and periodic balancing are deterministic
   functions of runqueue state (see :class:`~repro.kernel.sched.Scheduler`).
+* Timeslices, CPU-time accounting and the between-ops preemption poll
+  come from the scheduler policy: the round-robin default grants full
+  quanta and never preempts (byte-identical to the pre-CFS engine),
+  while a ``cpu_profile`` machine's :class:`~repro.kernel.sched.CfsScheduler`
+  grants slice remainders and preempts on vruntime lead.
 * With ``cpus=1`` the loop replays the original single-CPU engine
   op-for-op, so single-core results stay byte-identical.
 
@@ -95,6 +100,11 @@ class Engine:
         timers = self.timers
         timer_heap = timers._heap  # hot-loop: probe before paying fire_due
         sched = self.sched
+        account = sched.account
+        timeslice = sched.timeslice
+        # The preemption poll only exists under the CFS policy; binding
+        # None keeps the round-robin hot loop at a single comparison.
+        preempt = sched.should_preempt if sched.preemptive else None
         kernel = self.system.kernel
         slots = self._slots
         smp = len(slots) > 1
@@ -134,7 +144,10 @@ class Engine:
                 timers.fire_due(now)
 
             task = best.task
-            if task is not None and now >= best.quantum_end:
+            if task is not None and (
+                now >= best.quantum_end
+                or (preempt is not None and preempt(task, best.index))
+            ):
                 sched.requeue(task, best.index)
                 best.task = task = None
             if task is None:
@@ -145,7 +158,7 @@ class Engine:
                     self._park(best, now, deadline)
                     continue
                 best.task = task
-                best.quantum_end = now + sched.quantum
+                best.quantum_end = now + timeslice(task)
 
             # Dispatch exactly one op; the loop re-selects between ops so
             # CPUs interleave at block granularity.
@@ -169,6 +182,7 @@ class Engine:
             kind = type(op)
             if kind is ExecBlock:
                 ticks = best.cpu.execute(task, op)
+                account(task, best.index, ticks)
                 end = now + ticks
                 if end > self._busy_until:
                     start = now if now > self._busy_until else self._busy_until
@@ -248,6 +262,12 @@ class Engine:
         if span > 0:
             idle = self.system.kernel.idle_task
             insts = int(span * IDLE_INSTS_PER_TICK)
+            # A slow (LITTLE) core retires proportionally fewer idle
+            # instructions in the same span; the symmetric default
+            # divides by 1 and stays bit-exact.
+            tpi = slot.cpu.ticks_per_inst
+            if tpi > 1:
+                insts //= tpi
             if idle is not None and insts > 0:
                 self.profiler.charge_idle(
                     idle.process.comm, idle.name, insts, slot.index

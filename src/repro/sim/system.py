@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+from repro.calibration import CpuSpec, parse_cpu_profile
 from repro.kernel.kthreads import spawn_standard_kthreads
 from repro.kernel.pagecache import Filesystem
 from repro.kernel.proc import Kernel
@@ -20,13 +21,22 @@ from repro.sim.ticks import Clock
 
 
 class System:
-    """One simulated machine (``cpus`` cores sharing one memory system)."""
+    """One simulated machine (``cpus`` cores sharing one memory system).
+
+    *cpu_profile* selects a big.LITTLE-style asymmetric machine (e.g.
+    ``"2+2"``: two full-speed big cores then two half-speed LITTLE
+    cores) and switches the kernel onto the CFS vruntime scheduler.
+    ``None`` — the default — is the symmetric reproducibility path:
+    uniform cores under the round-robin policy, byte-identical to the
+    pre-profile engine.
+    """
 
     def __init__(
         self,
         seed: int = 1234,
         devices: DeviceSet | None = None,
         cpus: int = 1,
+        cpu_profile: str | None = None,
     ) -> None:
         if cpus < 1:
             raise ValueError(f"system needs cpus >= 1, got {cpus}")
@@ -34,7 +44,26 @@ class System:
         self.rng = random.Random(seed)
         self.clock = Clock()
         self.profiler = MemProfiler()
-        self.cpus = [AtomicCPU(self.clock, self.profiler, cpu_id=i) for i in range(cpus)]
+        self.cpu_profile = cpu_profile
+        #: Per-CPU speed/capacity specs, or None on the symmetric default.
+        self.cpu_specs: tuple[CpuSpec, ...] | None = None
+        if cpu_profile is not None:
+            specs = parse_cpu_profile(cpu_profile)
+            if len(specs) != cpus:
+                raise ValueError(
+                    f"cpu profile {cpu_profile!r} describes {len(specs)} "
+                    f"cores but cpus={cpus}"
+                )
+            self.cpu_specs = specs
+            self.cpus = [
+                AtomicCPU(self.clock, self.profiler, cpu_id=i, spec=spec)
+                for i, spec in enumerate(specs)
+            ]
+        else:
+            self.cpus = [
+                AtomicCPU(self.clock, self.profiler, cpu_id=i)
+                for i in range(cpus)
+            ]
         #: The boot CPU — also *the* CPU on a single-core machine.
         self.cpu = self.cpus[0]
         self.devices = devices if devices is not None else DeviceSet()
@@ -42,6 +71,22 @@ class System:
         self.engine = Engine(self)
         self.fs = Filesystem(self.kernel, self.devices.storage)
         self._booted = False
+
+    def big_cpu(self, index: int = 0) -> int | None:
+        """The *index*-th big core's CPU id on an asymmetric machine.
+
+        ``None`` on the symmetric default and on degenerate profiles
+        (all-big or all-LITTLE), where there is no meaningful big/LITTLE
+        split to pin service threads against — so callers can pass the
+        result straight to ``spawn_thread(affinity=...)`` without
+        changing default-path placement.
+        """
+        if self.cpu_specs is None:
+            return None
+        bigs = [i for i, spec in enumerate(self.cpu_specs) if spec.is_big]
+        if not bigs or len(bigs) == len(self.cpu_specs):
+            return None
+        return bigs[index % len(bigs)]
 
     @property
     def cpu_count(self) -> int:

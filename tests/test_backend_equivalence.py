@@ -34,11 +34,26 @@ from repro.core.runner import execute_one
 from repro.sim.ticks import millis
 
 FAST = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200))
+#: The asymmetric row of the matrix: a 2+2 big.LITTLE machine (CFS
+#: scheduler, asymmetric core speeds) under the same purity contract.
+FAST_BIGLITTLE = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200),
+                           cpus=4, cpu_profile="2+2")
 SUITE_IDS = ["countdown.main", "music.mp3.view", "999.specrand"]
 #: A multi-axis grid: 2 benchmarks x (jit on/off) x (seed 1/2) = 8 cells.
 SWEEP_SPEC = SweepSpec(
     benches=("countdown.main", "999.specrand"),
     axes=(SweepAxis("jit", (True, False)), SweepAxis("seed", (1, 2))),
+    base=FAST,
+)
+#: The cpu_profile x cpus differential row: one grid whose cells span
+#: the symmetric single-core baseline (round-robin policy), a 1+1 and a
+#: 2+2 big.LITTLE machine (CFS policy) — each profile pins its own core
+#: count, so the row varies both dimensions at once.  (Crossing an
+#: explicit multi-value ``cpus`` axis with a profile axis is rejected in
+#: either axis order; see the matrix test below.)
+PROFILE_SWEEP_SPEC = SweepSpec(
+    benches=("countdown.main", "music.mp3.view"),
+    axes=(SweepAxis("cpu_profile", (None, "1+1", "2+2")),),
     base=FAST,
 )
 
@@ -179,6 +194,132 @@ class TestSweepMatrix:
         merged = shards[0]
         merged.merge(shards[1])
         assert _sweep_bytes(merged, tmp_path / "out.json") == serial_sweep_bytes
+
+
+# ----------------------------------------------------------------------
+# (b2) cpu_profile x cpus matrix: the asymmetric (CFS-scheduled) model
+# obeys the same purity contract as the symmetric one
+
+
+def _warm_profile_cache(tmp_path, warmth: str) -> str | None:
+    if warmth == "cold":
+        return None
+    root = str(tmp_path / "cache")
+    SuiteRunner(FAST_BIGLITTLE, cache=ResultCache(root)).run_suite(SUITE_IDS)
+    return root
+
+
+@pytest.fixture(scope="module")
+def serial_biglittle_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's 2+2 big.LITTLE SuiteResult."""
+    suite = SuiteRunner(
+        FAST_BIGLITTLE, backend=SerialBackend()
+    ).run_suite(SUITE_IDS)
+    return _suite_bytes(suite, tmp_path_factory.mktemp("ref") / "bl.json")
+
+
+@pytest.fixture(scope="module")
+def serial_profile_sweep_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's cpu_profile-row SweepResult."""
+    sweep = SweepRunner(backend=SerialBackend()).run(PROFILE_SWEEP_SPEC)
+    return _sweep_bytes(sweep, tmp_path_factory.mktemp("ref") / "blsweep.json")
+
+
+class TestCpuProfileMatrix:
+    @pytest.mark.parametrize("warmth", ("cold", "prewarmed"))
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_asymmetric_suite_byte_identical(
+        self, name, warmth, serial_biglittle_bytes, tmp_path
+    ):
+        cache_dir = _warm_profile_cache(tmp_path, warmth)
+        backend = _make(name)
+        suite = SuiteRunner(
+            FAST_BIGLITTLE,
+            backend=backend,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        ).run_suite(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            serial_biglittle_bytes
+        if warmth == "prewarmed":
+            assert backend.executed == []    # zero redundant simulations
+
+    @pytest.mark.parametrize("inner", ("serial", "async"))
+    def test_asymmetric_sharded_merge_byte_identical(
+        self, inner, serial_biglittle_bytes, tmp_path
+    ):
+        parts = [
+            SuiteRunner(
+                FAST_BIGLITTLE, backend=ShardedBackend(k, 2, inner=_make(inner))
+            ).run_suite(SUITE_IDS)
+            for k in (1, 2)
+        ]
+        merged = SuiteResult()
+        for bench_id in SUITE_IDS:
+            for part in parts:
+                if bench_id in part.runs:
+                    merged.add(part.runs[bench_id])
+        assert _suite_bytes(merged, tmp_path / "out.json") == \
+            serial_biglittle_bytes
+
+    @pytest.mark.parametrize("warmth", ("cold", "prewarmed"))
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_profile_row_sweep_byte_identical(
+        self, name, warmth, serial_profile_sweep_bytes, tmp_path
+    ):
+        cache_dir = None
+        if warmth == "prewarmed":
+            cache_dir = str(tmp_path / "cache")
+            SweepRunner(cache=ResultCache(cache_dir)).run(PROFILE_SWEEP_SPEC)
+        backend = _make(name)
+        sweep = SweepRunner(
+            backend=backend,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        ).run(PROFILE_SWEEP_SPEC)
+        assert _sweep_bytes(sweep, tmp_path / "out.json") == \
+            serial_profile_sweep_bytes
+        if warmth == "prewarmed":
+            assert backend.executed == []
+
+    def test_profile_cells_really_differ(self, serial_profile_sweep_bytes):
+        """The matrix is not vacuous: the three profile cells of one
+        benchmark are three different results."""
+        sweep = SweepRunner(backend=SerialBackend()).run(PROFILE_SWEEP_SPEC)
+        cells = [
+            sweep.get("music.mp3.view", variant)
+            for variant in ("cpu_profile=none", "cpu_profile=1+1",
+                            "cpu_profile=2+2")
+        ]
+        assert cells[0].cpus == 1 and cells[1].cpus == 2 and cells[2].cpus == 4
+        payloads = [str(cell.to_json_dict()) for cell in cells]
+        assert len(set(payloads)) == 3
+
+    def test_crossing_cpus_and_profile_axes_is_rejected(self):
+        """An explicit cpus axis crossed with a profile axis is refused
+        in either order (a profile pins its own core count): profile
+        applied last mints duplicate-config cells, cpus applied last
+        would mint a profile/count mismatch — both fail up front rather
+        than mid-simulation."""
+        from repro.errors import ConfigError
+
+        profile_last = SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("cpus", (1, 4)),
+                  SweepAxis("cpu_profile", (None, "2+2"))),
+            base=FAST,
+        )
+        with pytest.raises(ConfigError):
+            profile_last.variants()
+        cpus_last = SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("cpu_profile", (None, "2+2")),
+                  SweepAxis("cpus", (1, 4))),
+            base=FAST,
+        )
+        with pytest.raises(ConfigError):
+            cpus_last.variants()
+        # Same guard for a profile arriving via the base config.
+        with pytest.raises(ConfigError):
+            SweepAxis("cpus", (2,)).apply(FAST_BIGLITTLE, 2)
 
 
 # ----------------------------------------------------------------------

@@ -442,6 +442,81 @@ class TestCacheGc:
         assert real.removed_bytes == preview.removed_bytes
         assert len(cache) == 0
 
+    def test_equal_age_prefers_least_recently_used(self, tmp_path):
+        """Among entries of the same mtime, the never-hit ones go first:
+        a warm entry outlives cold ones written in the same batch."""
+        cache = ResultCache(str(tmp_path))
+        planted = {
+            bid: _plant_entry(cache, bid, mtime=100.0)
+            for bid in ("countdown.main", "999.specrand", "401.bzip2")
+        }
+        assert cache.get("999.specrand", QUICK_CONFIG) is not None  # warm it
+        report = cache.gc(max_entries=1)
+        assert report.removed_entries == 2
+        assert os.path.exists(planted["999.specrand"])
+        assert not os.path.exists(planted["countdown.main"])
+        assert not os.path.exists(planted["401.bzip2"])
+
+    def test_lru_order_breaks_ties_among_hit_entries(self, tmp_path):
+        """Two warm entries of equal age: the one hit longer ago is
+        evicted first."""
+        cache = ResultCache(str(tmp_path))
+        first = _plant_entry(cache, "countdown.main", mtime=100.0)
+        second = _plant_entry(cache, "999.specrand", mtime=100.0)
+        name_first = os.path.basename(first)
+        name_second = os.path.basename(second)
+        # Control the timestamps directly: first hit long ago, second
+        # recently.
+        cache._session_last_hits[name_first] = 1_000.0
+        cache._session_last_hits[name_second] = 2_000.0
+        report = cache.gc(max_entries=1)
+        assert report.removed_entries == 1
+        assert not os.path.exists(first)
+        assert os.path.exists(second)
+
+    def test_last_hit_timestamps_persist_in_stats_file(self, tmp_path):
+        """Hits recorded in one process steer eviction in a later one:
+        the per-entry timestamps ride the stats file."""
+        import json as _json
+
+        cache = ResultCache(str(tmp_path))
+        planted = {
+            bid: _plant_entry(cache, bid, mtime=100.0)
+            for bid in ("countdown.main", "999.specrand")
+        }
+        assert cache.get("999.specrand", QUICK_CONFIG) is not None
+        cache.flush_stats()
+        with open(tmp_path / ResultCache.STATS_FILE, encoding="utf-8") as fh:
+            raw = _json.load(fh)
+        warm_name = os.path.basename(planted["999.specrand"])
+        assert warm_name in raw["last_hit"]
+        assert os.path.basename(planted["countdown.main"]) not in raw["last_hit"]
+
+        fresh = ResultCache(str(tmp_path))
+        report = fresh.gc(max_entries=1)
+        assert report.removed_entries == 1
+        assert os.path.exists(planted["999.specrand"])
+        assert not os.path.exists(planted["countdown.main"])
+
+    def test_flush_prunes_last_hits_of_evicted_entries(self, tmp_path):
+        """The stats file's last-hit map cannot grow without bound: a
+        flush drops records of entries no longer on disk."""
+        import json as _json
+
+        cache = ResultCache(str(tmp_path))
+        _plant_entry(cache, "countdown.main", mtime=100.0)
+        assert cache.get("countdown.main", QUICK_CONFIG) is not None
+        cache.flush_stats()
+        cache.gc(max_bytes=0)
+        # A later hit/miss forces another flush; the evicted entry's
+        # record must not survive it.
+        assert cache.get("countdown.main", QUICK_CONFIG) is None  # miss
+        cache.flush_stats()
+        with open(tmp_path / ResultCache.STATS_FILE, encoding="utf-8") as fh:
+            raw = _json.load(fh)
+        assert raw["last_hit"] == {}
+        assert raw["misses"] >= 1
+
     def test_gc_preserves_stats_and_foreign_files(self, tmp_path):
         """Eviction removes run entries only: the persisted hit/miss
         counters and files the cache does not own survive untouched."""

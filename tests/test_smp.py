@@ -91,6 +91,131 @@ def test_system_rejects_zero_cpus():
 
 
 # ---------------------------------------------------------------------------
+# Symmetric-default equivalence: the CFS/big.LITTLE refactor must leave
+# the default (no cpu_profile) path byte-identical at every core count.
+
+
+def test_symmetric_cpus4_results_match_pre_cfs_golden():
+    """Byte-identity of the default symmetric 4-core path with the PR 4
+    engine, via recorded result hashes (the round-robin policy is the
+    default; CFS only engages under a cpu_profile).  Skipped after a
+    deliberate version bump, like the cpus=1 anchors above."""
+    if __version__ != "1.0.0":
+        pytest.skip("results intentionally changed by a version bump")
+    cfg = RunConfig(
+        duration_ticks=seconds(1), settle_ticks=millis(200), seed=4242,
+        cpus=4,
+    )
+    golden = {
+        "countdown.main":
+            "87d448695a4c20a7eae86995ee6a9968b45eb851ac0f10e65f5dc602647409f1",
+        "music.mp3.view":
+            "8f9b8eec87ef48031ba68b2471db46051a96950b233e136371b5187d47278849",
+    }
+    for bench_id, want in golden.items():
+        assert _result_sha(execute_one(bench_id, cfg)) == want, bench_id
+
+
+def test_symmetric_cpus4_cache_key_matches_pre_cfs_engine():
+    """A profile-less cpus=4 config keeps hitting the cache entries the
+    PR 4 engine wrote (cpu_profile omitted from the config JSON)."""
+    if __version__ != "1.0.0":
+        pytest.skip("cache keys intentionally rotated by a version bump")
+    cfg = RunConfig(
+        duration_ticks=seconds(1), settle_ticks=millis(200), seed=4242,
+        cpus=4,
+    )
+    assert ResultCache.key("countdown.main", cfg) == (
+        "26c127bc3a9b5716879e86670e3aff356f35abc2ff9df38b0509997e9f52aa71"
+    )
+
+
+def test_cpu_profile_default_omitted_from_config_json():
+    """cpu_profile=None must serialise to the pre-big.LITTLE JSON (same
+    cache keys), at every core count."""
+    for cfg in (RunConfig(), RunConfig(cpus=4)):
+        assert "cpu_profile" not in cfg.to_json_dict()
+    raw = RunConfig(cpus=4, cpu_profile="2+2").to_json_dict()
+    assert raw["cpu_profile"] == "2+2"
+    assert RunConfig.from_json_dict(raw) == RunConfig(cpus=4, cpu_profile="2+2")
+
+
+def test_config_rejects_profile_cpus_mismatch():
+    with pytest.raises(ConfigError):
+        RunConfig.from_json_dict({"cpus": 2, "cpu_profile": "2+2"})
+    with pytest.raises(ConfigError):
+        RunConfig.from_json_dict({"cpus": 4, "cpu_profile": "banana"})
+    with pytest.raises(ValueError):
+        System(cpus=2, cpu_profile="2+2")
+
+
+# ---------------------------------------------------------------------------
+# cpu_profile: asymmetric cores shift attribution, deterministically
+
+
+@pytest.fixture(scope="module")
+def biglittle_agave():
+    """One multithreaded Agave benchmark on a 2+2 big.LITTLE machine."""
+    cfg = RunConfig(duration_ticks=QUICK.duration_ticks,
+                    settle_ticks=QUICK.settle_ticks, cpus=4,
+                    cpu_profile="2+2")
+    return execute_one("music.mp3.view", cfg)
+
+
+def test_biglittle_run_is_deterministic(biglittle_agave):
+    cfg = RunConfig(duration_ticks=QUICK.duration_ticks,
+                    settle_ticks=QUICK.settle_ticks, cpus=4,
+                    cpu_profile="2+2")
+    again = execute_one("music.mp3.view", cfg)
+    assert json.dumps(again.to_json_dict(), sort_keys=True) == json.dumps(
+        biglittle_agave.to_json_dict(), sort_keys=True
+    )
+
+
+def test_biglittle_attribution_differs_from_symmetric(smp_agave,
+                                                      biglittle_agave):
+    """Same benchmark, same core count: the asymmetric profile produces
+    a measurably different per-CPU attribution, with the big cluster
+    (twice the clock + pinned service threads) carrying the bulk."""
+    assert biglittle_agave.cpus == smp_agave.cpus == 4
+    assert biglittle_agave.refs_by_cpu() != smp_agave.refs_by_cpu()
+    assert biglittle_agave.busy_ticks_by_cpu != smp_agave.busy_ticks_by_cpu
+    assert biglittle_agave.big_cpu_ids() == [0, 1]
+    assert biglittle_agave.big_refs_share() > 0.6
+    # References stay a partition of the totals under CFS too.
+    assert sum(biglittle_agave.instr_by_cpu.values()) == \
+        biglittle_agave.total_instr
+    assert sum(biglittle_agave.data_by_cpu.values()) == \
+        biglittle_agave.total_data
+
+
+def test_biglittle_result_roundtrips_with_profile(biglittle_agave):
+    from repro.core import RunResult
+
+    raw = biglittle_agave.to_json_dict()
+    assert raw["cpu_profile"] == "2+2" and raw["cpus"] == 4
+    back = RunResult.from_json_dict(json.loads(json.dumps(raw)))
+    assert back == biglittle_agave
+    assert back.big_refs_share() == biglittle_agave.big_refs_share()
+
+
+def test_profile_changes_cache_key():
+    sym = RunConfig(duration_ticks=seconds(1), cpus=4)
+    asym = RunConfig(duration_ticks=seconds(1), cpus=4, cpu_profile="2+2")
+    assert ResultCache.key("countdown.main", sym) != \
+        ResultCache.key("countdown.main", asym)
+
+
+def test_system_big_cpu_helper():
+    assert System(cpus=4).big_cpu() is None                      # symmetric
+    assert System(cpus=2, cpu_profile="2+0").big_cpu() is None   # all big
+    assert System(cpus=2, cpu_profile="0+2").big_cpu() is None   # all LITTLE
+    bl = System(cpus=4, cpu_profile="2+2")
+    assert bl.big_cpu(0) == 0 and bl.big_cpu(1) == 1
+    assert bl.big_cpu(2) == 0                                    # wraps
+
+
+# ---------------------------------------------------------------------------
 # cpus>1: determinism, conservation, and per-CPU accounting
 
 
@@ -311,6 +436,67 @@ def test_cpus_axis_parses_and_validates():
         SweepAxis("cpus", (True,))
 
 
+def test_cpu_profile_axis_parses_and_applies():
+    axis = parse_axis("cpu_profile=none,2+2")
+    assert axis.name == "cpu_profile" and axis.values == (None, "2+2")
+    base = RunConfig(cpus=4)
+    sym = axis.apply(base, None)
+    assert sym.cpu_profile is None and sym.cpus == 4
+    asym = axis.apply(base, "2+2")
+    # A profile pins the core count to its own total.
+    assert asym.cpu_profile == "2+2" and asym.cpus == 4
+    assert axis.apply(RunConfig(), "1+2").cpus == 3
+    with pytest.raises(ConfigError):
+        SweepAxis("cpu_profile", ("nonsense",))
+    with pytest.raises(ConfigError):
+        SweepAxis("cpu_profile", (4,))
+
+
+def test_cpu_profile_axis_sweep_labels_and_cells(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = SweepSpec(
+        benches=("countdown.main",),
+        axes=(SweepAxis("cpu_profile", (None, "1+1")),),
+        base=RunConfig(duration_ticks=millis(300), settle_ticks=millis(150),
+                       cpus=2),
+    )
+    result = SweepRunner(cache=cache).run(spec)
+    assert set(result.variants()) == {"cpu_profile=none", "cpu_profile=1+1"}
+    sym = result.get("countdown.main", "cpu_profile=none")
+    asym = result.get("countdown.main", "cpu_profile=1+1")
+    assert sym.cpu_profile is None and asym.cpu_profile == "1+1"
+    assert cache.misses == 2          # distinct keys per profile
+    rerun = SweepRunner(cache=ResultCache(str(tmp_path))).run(spec)
+    assert rerun.to_json_dict() == result.to_json_dict()
+
+
+def test_per_cpu_sweep_metrics_resolve():
+    from repro.analysis.sweep import resolve_metric
+    from repro.errors import AnalysisError
+
+    run = execute_one(
+        "countdown.main",
+        RunConfig(duration_ticks=millis(300), settle_ticks=millis(150),
+                  cpus=2, cpu_profile="1+1"),
+    )
+    refs = run.refs_by_cpu()
+    total = sum(refs.values())
+    assert resolve_metric("cpu0_refs")(run) == float(refs.get(0, 0))
+    assert resolve_metric("cpu1_share")(run) == pytest.approx(
+        100.0 * refs.get(1, 0) / total
+    )
+    assert resolve_metric("cpu0_busy")(run) == float(
+        run.busy_ticks_by_cpu.get(0, 0)
+    )
+    assert resolve_metric("big_refs_share")(run) == pytest.approx(
+        100.0 * run.big_refs_share()
+    )
+    with pytest.raises(AnalysisError):
+        resolve_metric("cpu_share")
+    with pytest.raises(AnalysisError):
+        resolve_metric("nonsense")
+
+
 def test_cpus_axis_sweep_runs_and_caches_per_core_count(tmp_path):
     cache = ResultCache(str(tmp_path))
     spec = SweepSpec(
@@ -354,3 +540,34 @@ def test_cli_rejects_bad_cpus(capsys):
 
     assert main(["--cpus", "0", "suite", "--bench", "countdown.main"]) == 2
     assert "--cpus" in capsys.readouterr().err
+
+
+def test_cli_cpu_profile_flag_and_smp_report(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_path = str(tmp_path / "bl.json")
+    # --cpus derives from the profile when omitted.
+    assert main([
+        "--duration", "0.3", "--settle-ms", "150", "--cpu-profile", "2+2",
+        "suite", "--bench", "countdown.main", "--out", out_path,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["smp", "--results", out_path]) == 0
+    report = capsys.readouterr().out
+    assert "profile" in report and "2+2" in report and "big %" in report
+
+
+def test_cli_rejects_profile_cpus_mismatch(capsys):
+    from repro.__main__ import main
+
+    assert main([
+        "--cpus", "2", "--cpu-profile", "2+2",
+        "suite", "--bench", "countdown.main",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "--cpu-profile" in err
+
+    assert main([
+        "--cpu-profile", "banana", "suite", "--bench", "countdown.main",
+    ]) == 2
+    assert "profile" in capsys.readouterr().err

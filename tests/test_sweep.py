@@ -31,7 +31,7 @@ from repro.core import (
 from repro.core.backends import BackendError
 from repro.core.results import RunResult
 from repro.errors import AnalysisError, ConfigError, WorkloadError
-from repro.sim.ticks import millis
+from repro.sim.ticks import millis, seconds
 
 FAST = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200))
 BENCHES = ("countdown.main", "999.specrand")
@@ -407,6 +407,62 @@ class TestSweepAnalysis:
         assert "a.bench" in text
         assert "seed=2" in text
         assert "+50.0" in text and "-50.0" in text
+
+
+# ----------------------------------------------------------------------
+# (e2) Sweep-aware claims: paper deltas asserted over the grid
+
+
+class TestSweepClaims:
+    def test_claims_need_a_complete_jit_axis(self):
+        from repro.analysis.claims import evaluate_sweep_claims
+
+        with pytest.raises(AnalysisError):
+            evaluate_sweep_claims(SweepResult())           # nothing swept
+        seeds_only = SweepResult(axes={"seed": [1, 2]}, variant_values={
+            "seed=1": {"seed": 1}, "seed=2": {"seed": 2},
+        })
+        seeds_only.add("a.bench", "seed=1", _fake_run("a.bench", 10))
+        with pytest.raises(AnalysisError):
+            evaluate_sweep_claims(seeds_only)              # no jit axis
+
+    def test_claims_compare_only_complete_pairs(self):
+        """A sharded sweep holding jit=on cells without their jit=off
+        partners has no comparable pair and says so."""
+        from repro.analysis.claims import evaluate_sweep_claims
+
+        half = SweepResult(axes={"jit": [True, False]}, variant_values={
+            "jit=on": {"jit": True}, "jit=off": {"jit": False},
+        })
+        half.add("a.bench", "jit=on", _fake_run("a.bench", 10))
+        with pytest.raises(AnalysisError):
+            evaluate_sweep_claims(half)
+
+    def test_jit_collapse_claims_hold_over_a_real_sweep(self):
+        """The JIT ablation's paper deltas, measured across every cell
+        of a real jit on/off grid: the code-cache region collapses to
+        zero with the JIT off, stays visible with it on, and the
+        Compiler thread retires."""
+        from repro.analysis.claims import evaluate_sweep_claims
+
+        spec = SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("jit", (True, False)),),
+            base=RunConfig(duration_ticks=seconds(2),
+                           settle_ticks=millis(300)),
+        )
+        sweep = SweepRunner().run(spec)
+        claims = evaluate_sweep_claims(sweep)
+        assert [c.claim_id for c in claims] == [
+            "sweep-jit-cache-collapse",
+            "sweep-jit-cache-present",
+            "sweep-jit-compiler-retired",
+        ]
+        for claim in claims:
+            assert claim.holds, claim.describe()
+        # The collapse is exact, not merely within tolerance.
+        off = sweep.get("countdown.main", "jit=off")
+        assert off.instr_by_region.get("dalvik-jit-code-cache", 0) == 0
 
 
 # ----------------------------------------------------------------------
