@@ -16,6 +16,9 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro --cpus 4 smp --cache .agave-cache
     python -m repro cache stats .agave-cache
     python -m repro cache gc .agave-cache --max-bytes 50000000 --dry-run
+    python -m repro cache gc .agave-cache --max-entries 100 --lru
+    python -m repro sweep --axis duration=0.5,1,2 --snapshots
+    python -m repro snapshot stats --bench music.mp3.view
 
 Execution flags (``--jobs``, ``--backend``, ``--window``, ``--cache``,
 ``--progress``) apply wherever benchmarks may actually run: ``suite``,
@@ -66,9 +69,13 @@ from repro.core import (
     SweepRunner,
     SweepSpec,
     benchmarks,
+    enable_snapshots,
     make_backend,
     parse_axis,
+    prime_snapshot,
+    snapshot_key,
 )
+from repro.core.snapshots import active_store
 from repro.calibration import profile_cpu_count
 from repro.errors import ConfigError, ReproError
 from repro.sim.ticks import millis, seconds
@@ -122,6 +129,13 @@ def _add_exec_flags(
                              "result sizes)")
     parser.add_argument("--cache", metavar="DIR",
                         help="content-addressed result cache directory")
+    parser.add_argument("--snapshots", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="boot-snapshot fast path: boot each "
+                             "(seed, jit, calibration, cpus, cpu_profile) "
+                             "configuration once and restore the warm "
+                             "template for its other duration/settle "
+                             "variants (results stay byte-identical)")
     parser.add_argument("--progress", action="store_true",
                         help="print a line as each benchmark completes")
 
@@ -157,6 +171,18 @@ def _progress_printer(
               f"{result.total_refs:>15,} refs", flush=True)
 
     return emit
+
+
+def _print_snapshot_stats() -> None:
+    """One summary line after a run with ``--snapshots`` (hit/miss
+    accounting is how warm-template reuse is observed from the CLI)."""
+    store = active_store()
+    if store is None:
+        return
+    stats = store.stats()
+    print(f"snapshots: {stats.hits} hits, {stats.misses} misses, "
+          f"{stats.templates} templates ({stats.blob_bytes:,} bytes, "
+          f"{stats.shared_objects} shared objects)", flush=True)
 
 
 def _load_or_run(args: argparse.Namespace) -> SuiteResult:
@@ -204,6 +230,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     else:
         for bench_id in suite.ids():
             print(f"{bench_id:<22} {suite.get(bench_id).total_refs:>15,} refs")
+    _print_snapshot_stats()
     return 0
 
 
@@ -231,6 +258,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     elif not args.out:
         for (bench_id, variant), run in result.runs.items():
             print(f"{bench_id:<22} [{variant}] {run.total_refs:>15,} refs")
+    _print_snapshot_stats()
     return 0
 
 
@@ -261,13 +289,44 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
         )
     cache = ResultCache(args.dir)
     report = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age,
-                      max_entries=args.max_entries, dry_run=args.dry_run)
+                      max_entries=args.max_entries, dry_run=args.dry_run,
+                      lru=args.lru)
     verb = "would evict" if args.dry_run else "evicted"
     print(f"cache:   {cache.root}")
     print(f"{verb}: {report.removed_entries} entries "
           f"({report.removed_bytes:,} bytes)")
     print(f"kept:    {report.kept_entries} entries "
           f"({report.kept_bytes:,} bytes)")
+    return 0
+
+
+def cmd_snapshot_stats(args: argparse.Namespace) -> int:
+    """Build the boot template(s) for the given config and time a restore.
+
+    No workload runs: this inspects the snapshot mechanism itself — the
+    key, template size, shared-table size, and capture/restore cost —
+    for each requested benchmark under the global config flags.
+    """
+    import time as _time
+
+    store = enable_snapshots()
+    cfg = _config(args)
+    ids = args.bench or ["music.mp3.view"]
+    for bench_id in ids:
+        key = prime_snapshot(bench_id, cfg)
+        blob_bytes, shared = store.describe(key)
+        t0 = _time.perf_counter()
+        store.restore(key)
+        restore_ms = 1e3 * (_time.perf_counter() - t0)
+        print(f"{bench_id}:")
+        print(f"  key:      {key}")
+        print(f"  template: {blob_bytes:,} bytes + {shared} shared objects")
+        print(f"  capture:  {store.capture_ms:.2f} ms (boot excluded)")
+        print(f"  restore:  {restore_ms:.2f} ms")
+        store.capture_ms = 0.0
+    stats = store.stats()
+    print(f"store: {stats.templates} templates, "
+          f"{stats.blob_bytes:,} bytes total")
     return 0
 
 
@@ -382,9 +441,26 @@ def make_parser() -> argparse.ArgumentParser:
                       help="evict entries last written more than SECONDS ago")
     p_gc.add_argument("--max-entries", type=int, metavar="N",
                       help="evict oldest entries until at most N remain")
+    p_gc.add_argument("--lru", action="store_true",
+                      help="evict by last hit instead of write age: "
+                           "never-hit entries go first, recently-used "
+                           "entries survive however old their bytes are "
+                           "(--max-age still cuts on write age)")
     p_gc.add_argument("--dry-run", action="store_true",
                       help="report what would be evicted without deleting")
     p_gc.set_defaults(func=cmd_cache_gc)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="boot-snapshot (warm template) inspection"
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+    p_snap_stats = snap_sub.add_parser(
+        "stats", help="build a boot template and report key/size/timings"
+    )
+    p_snap_stats.add_argument("--bench", action="append", metavar="ID",
+                              help="benchmark to build the template for "
+                                   "(repeatable; default music.mp3.view)")
+    p_snap_stats.set_defaults(func=cmd_snapshot_stats)
 
     for name, func, extra in (
         ("figures", cmd_figures, True),
@@ -412,6 +488,11 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "snapshots", False):
+        # Global switch: any command that may simulate (suite, sweep,
+        # artifact commands without --results) gets the fast path, and
+        # spawned pool workers inherit it via the environment.
+        enable_snapshots()
     try:
         return args.func(args)
     except ReproError as exc:

@@ -123,6 +123,31 @@ def boot_android(system: "System", jit_enabled: bool = True) -> AndroidStack:
 
 
 # ---------------------------------------------------------------------------
+#
+# Boot-time behaviour factories are module-level classes (not closures) so
+# a freshly-booted, never-run system — the boot snapshot template — holds
+# only picklable state.
+
+
+class _DaemonMain:
+    """A native daemon's ctor run + periodic poll loop."""
+
+    def __init__(
+        self, proc: "Process", period_ms: int, insts: int, libs: tuple[str, ...]
+    ) -> None:
+        self.proc = proc
+        self.period_ms = period_ms
+        self.insts = insts
+        self.libs = libs
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        proc = self.proc
+        yield from run_ctors(proc, self.libs)
+        while True:
+            yield Sleep(millis(self.period_ms))
+            yield kernel_exec(f"daemon_poll:{proc.comm}", self.insts, 40)
+            yield from framework_veneer(proc, nlibs=2, insts_each=90)
+
 
 def _spawn_daemons(system: "System") -> list["Process"]:
     kernel = system.kernel
@@ -131,20 +156,34 @@ def _spawn_daemons(system: "System") -> list["Process"]:
         proc = kernel.spawn_process(name)
         libs = DAEMON_LIBS + extra
         kernel.loader.map_many(proc, resolve(libs))
-
-        def make_main(proc_ref: "Process", period: int, cost: int, libset):
-            def main(task: "Task") -> Iterator[Op]:
-                yield from run_ctors(proc_ref, libset)
-                while True:
-                    yield Sleep(millis(period))
-                    yield kernel_exec(f"daemon_poll:{proc_ref.comm}", cost, 40)
-                    yield from framework_veneer(proc_ref, nlibs=2, insts_each=90)
-
-            return main
-
-        kernel.set_main_behavior(proc, make_main(proc, period_ms, insts, libs))
+        kernel.set_main_behavior(proc, _DaemonMain(proc, period_ms, insts, libs))
         procs.append(proc)
     return procs
+
+
+class _LauncherMain:
+    """The home screen: draws once, then serves launch messages.
+
+    ``looper`` is attached after construction (the Looper needs the
+    forked process, which needs this behaviour first).
+    """
+
+    def __init__(self, ss: SystemServerHandle) -> None:
+        self.ss = ss
+        self.looper: Looper | None = None
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        proc = task.process
+        ctx = dalvik_context(proc)
+        surface = self.ss.sf.create_surface(proc, "home", 800, 480, z=0)
+        yield ctx.resolve_classes(220)
+        # Wallpaper + icon grid.
+        yield skia.decode_image(proc, 384_000, ctx.heap_addr(1))
+        yield skia.canvas_setup(proc)
+        yield from skia.raster(proc, 384_000, surface.canvas_addr)
+        yield from surface.post()
+        assert self.looper is not None
+        yield from self.looper.behavior(task)
 
 
 def _boot_launcher(
@@ -153,38 +192,25 @@ def _boot_launcher(
 ) -> tuple["Process", Looper]:
     """The home screen: draws once, then serves launch messages."""
     kernel = system.kernel
-    holder: dict[str, Looper] = {}
-
-    def main(task: "Task") -> Iterator[Op]:
-        proc = task.process
-        ctx = dalvik_context(proc)
-        surface = ss.sf.create_surface(proc, "home", 800, 480, z=0)
-        yield ctx.resolve_classes(220)
-        # Wallpaper + icon grid.
-        yield skia.decode_image(proc, 384_000, ctx.heap_addr(1))
-        yield skia.canvas_setup(proc)
-        yield from skia.raster(proc, 384_000, surface.canvas_addr)
-        yield from surface.post()
-        yield from holder["looper"].behavior(task)
-
+    main = _LauncherMain(ss)
     proc, _ctx = zygote.fork_dalvik(
         "com.android.launcher", main, jit_enabled=jit_enabled
     )
     looper = Looper(kernel, proc, "main")
-    holder["looper"] = looper
+    main.looper = looper
     return proc, looper
 
 
-def _boot_systemui(
-    system: "System", registry: ServiceRegistry, zygote: Zygote,
-    ss: SystemServerHandle, jit_enabled: bool = True,
-) -> "Process":
+class _SystemUiMain:
     """Status bar: 1Hz clock updates keep a small SF layer live."""
 
-    def main(task: "Task") -> Iterator[Op]:
+    def __init__(self, ss: SystemServerHandle) -> None:
+        self.ss = ss
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
         proc = task.process
         ctx = dalvik_context(proc)
-        surface = ss.sf.create_surface(proc, "statusbar", 800, 38, z=10)
+        surface = self.ss.sf.create_surface(proc, "statusbar", 800, 38, z=10)
         yield ctx.resolve_classes(160)
         yield skia.canvas_setup(proc)
         yield from skia.raster(proc, surface.pixels, surface.canvas_addr)
@@ -196,33 +222,43 @@ def _boot_systemui(
             yield from skia.raster(proc, 6_000, surface.canvas_addr)
             yield from surface.post()
 
+
+def _boot_systemui(
+    system: "System", registry: ServiceRegistry, zygote: Zygote,
+    ss: SystemServerHandle, jit_enabled: bool = True,
+) -> "Process":
+    """Status bar: 1Hz clock updates keep a small SF layer live."""
     proc, _ctx = zygote.fork_dalvik(
-        "com.android.systemui", main, jit_enabled=jit_enabled
+        "com.android.systemui", _SystemUiMain(ss), jit_enabled=jit_enabled
     )
     return proc
+
+
+class _ResidentMain:
+    """A quiet Dalvik resident: resolve classes, then idle allocations."""
+
+    def __init__(self, classes: int, period_ms: int) -> None:
+        self.classes = classes
+        self.period_ms = period_ms
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        proc = task.process
+        ctx = dalvik_context(proc)
+        yield ctx.resolve_classes(self.classes)
+        while True:
+            yield Sleep(millis(self.period_ms))
+            yield ctx.alloc(128)
 
 
 def _boot_residents(
     system: "System", zygote: Zygote, jit_enabled: bool = True
 ) -> None:
     """Quiet Dalvik residents: acore and phone."""
-
-    def make_main(classes: int, period_ms: int):
-        def main(task: "Task") -> Iterator[Op]:
-            proc = task.process
-            ctx = dalvik_context(proc)
-            yield ctx.resolve_classes(classes)
-            while True:
-                yield Sleep(millis(period_ms))
-                yield ctx.alloc(128)
-
-        return main
-
     zygote.fork_dalvik(
-        "android.process.acore", make_main(140, 3_000), jit_enabled=jit_enabled
+        "android.process.acore", _ResidentMain(140, 3_000), jit_enabled=jit_enabled
     )
     zygote.fork_dalvik(
-        "com.android.phone", make_main(120, 2_000),
+        "com.android.phone", _ResidentMain(120, 2_000),
         extra_libs=("libril.so",),
         jit_enabled=jit_enabled,
     )

@@ -241,6 +241,19 @@ class MediaServerHandle:
     mps: MediaPlayerService
 
 
+class _MediaserverMain:
+    """mediaserver's main loop (picklable behaviour factory)."""
+
+    def __init__(self, proc: "Process") -> None:
+        self.proc = proc
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        yield from run_ctors(self.proc, MEDIASERVER_LIBS)
+        while True:
+            yield Sleep(millis(2_000))
+            yield kernel_exec("mediaserver_housekeeping", 500, 40)
+
+
 def boot_mediaserver(
     system: "System", sf: SurfaceFlinger, registry: ServiceRegistry
 ) -> MediaServerHandle:
@@ -249,14 +262,7 @@ def boot_mediaserver(
     proc = kernel.spawn_process("mediaserver", behavior=None)
     kernel.loader.map_many(proc, resolve(MEDIASERVER_LIBS))
     regions.ensure_property_space(proc)
-
-    def main(task: "Task") -> Iterator[Op]:
-        yield from run_ctors(proc, MEDIASERVER_LIBS)
-        while True:
-            yield Sleep(millis(2_000))
-            yield kernel_exec("mediaserver_housekeeping", 500, 40)
-
-    kernel.set_main_behavior(proc, main)
+    kernel.set_main_behavior(proc, _MediaserverMain(proc))
 
     host = BinderHost(kernel, proc, nthreads=3)
     af = AudioFlinger(system, proc)

@@ -43,6 +43,30 @@ class SystemServerHandle:
     activities_started: int = field(default=0)
 
 
+class _ServerMain:
+    """ActivityManager's home thread loop.
+
+    ``handle`` is attached after construction (the handle needs the
+    forked process, which needs this behaviour first).  Module-level so
+    a pre-run system_server pickles into a boot snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.handle: SystemServerHandle | None = None
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        # ActivityManager's home thread: android.server.ServerThread.
+        task.set_name("android.server.ServerThread")
+        handle = self.handle
+        assert handle is not None
+        while True:
+            yield Sleep(millis(500))
+            # Battery stats, alarms, activity timeouts.
+            for method in handle.methods.pick_batch(5):
+                yield handle.ctx.interpret(method, reps=8, task=task)
+            yield from framework_veneer(handle.proc, nlibs=5, insts_each=130)
+
+
 def boot_system_server(
     system: "System", registry: ServiceRegistry, zygote: Zygote,
     jit_enabled: bool = True,
@@ -52,19 +76,7 @@ def boot_system_server(
     methods = MethodTable.generate(
         seed=system.seed ^ 0x5E41, prefix="android.server", count=140, avg_bytecodes=360
     )
-    handle_box: list[SystemServerHandle] = []
-
-    def main(task: "Task") -> Iterator[Op]:
-        # ActivityManager's home thread: android.server.ServerThread.
-        task.set_name("android.server.ServerThread")
-        handle = handle_box[0]
-        while True:
-            yield Sleep(millis(500))
-            # Battery stats, alarms, activity timeouts.
-            for method in handle.methods.pick_batch(5):
-                yield handle.ctx.interpret(method, reps=8, task=task)
-            yield from framework_veneer(handle.proc, nlibs=5, insts_each=130)
-
+    main = _ServerMain()
     proc, ctx = zygote.fork_dalvik(
         "system_server",
         main,
@@ -81,7 +93,7 @@ def boot_system_server(
     )
     host = BinderHost(kernel, proc, nthreads=8)
     handle = SystemServerHandle(proc, ctx, host, sf, methods)
-    handle_box.append(handle)
+    main.handle = handle
 
     services = _ServiceImpls(system, handle, zygote)
     registry.add("activity", host, services.handle_activity)
@@ -184,40 +196,55 @@ class _ServiceImpls:
 
     # -- Small services ----------------------------------------------------
 
-    def make_small_service(self, name: str):
+    def make_small_service(self, name: str) -> "_SmallService":
+        return _SmallService(self.handle)
+
+
+class _SmallService:
+    """A tiny registry-backed service handler (picklable)."""
+
+    def __init__(self, handle: SystemServerHandle) -> None:
+        self.handle = handle
+
+    def __call__(self, txn: Transaction) -> Iterator[Op]:
         handle = self.handle
-
-        def handler(txn: Transaction) -> Iterator[Op]:
-            for method in handle.methods.pick_batch(3):
-                yield handle.ctx.interpret(method)
-
-        return handler
+        for method in handle.methods.pick_batch(3):
+            yield handle.ctx.interpret(method)
 
 
-def _spawn_framework_threads(system: "System", handle: SystemServerHandle) -> None:
-    """InputReader / InputDispatcher / watchdog / PowerManagerService."""
-    kernel = system.kernel
-    proc = handle.proc
+class _InputThread:
+    """InputReader/InputDispatcher: a 50Hz libinput poll loop."""
 
-    def input_reader(task: "Task") -> Iterator[Op]:
-        libinput = mapped_object(proc, "libinput.so")
+    def __init__(self, proc: "Process", insts: int) -> None:
+        self.proc = proc
+        self.insts = insts
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        libinput = mapped_object(self.proc, "libinput.so")
         while True:
             yield Sleep(millis(20))
-            yield libinput.call("dispatch_event", insts=180)
+            yield libinput.call("dispatch_event", insts=self.insts)
 
-    def input_dispatcher(task: "Task") -> Iterator[Op]:
-        libinput = mapped_object(proc, "libinput.so")
-        while True:
-            yield Sleep(millis(20))
-            yield libinput.call("dispatch_event", insts=140)
 
-    def watchdog(task: "Task") -> Iterator[Op]:
+class _Watchdog:
+    """system_server's watchdog: periodic liveness checks."""
+
+    def __init__(self, handle: SystemServerHandle) -> None:
+        self.handle = handle
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        handle = self.handle
         while True:
             yield Sleep(millis(4_000))
             yield kernel_exec("watchdog_check", 900, 80)
             for method in handle.methods.pick_batch(2):
                 yield handle.ctx.interpret(method)
 
-    kernel.spawn_thread(proc, "InputReader", input_reader)
-    kernel.spawn_thread(proc, "InputDispatcher", input_dispatcher)
-    kernel.spawn_thread(proc, "watchdog", watchdog)
+
+def _spawn_framework_threads(system: "System", handle: SystemServerHandle) -> None:
+    """InputReader / InputDispatcher / watchdog / PowerManagerService."""
+    kernel = system.kernel
+    proc = handle.proc
+    kernel.spawn_thread(proc, "InputReader", _InputThread(proc, 180))
+    kernel.spawn_thread(proc, "InputDispatcher", _InputThread(proc, 140))
+    kernel.spawn_thread(proc, "watchdog", _Watchdog(handle))

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from repro.android.app import start_activity
 from repro.android.boot import boot_android
 from repro.calibration import Calibration, profile_cpu_count, use_calibration
+from repro.core import snapshots
 from repro.core.backends.base import shortfall_error
 from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.core.spec import BenchmarkSpec
@@ -144,14 +145,62 @@ def execute_one(bench_id: str, cfg: RunConfig) -> RunResult:
     return _run_spec(spec, cfg)
 
 
-def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
+def _prepared_system(spec: BenchmarkSpec, cfg: RunConfig):
+    """``(system, stack, model)`` at the pre-settle point — fresh or
+    restored.
+
+    The checkpoint sits after boot *and* after workload-model
+    construction (plus ``setup_files`` for Android benchmarks, i.e. the
+    app install): everything up to here is a pure function of the
+    snapshot key — ``spec.factory`` takes only the bench seed, and the
+    install mutates the system deterministically — while everything
+    after (settle, window, workload) depends on the excluded
+    duration/settle knobs and runs fresh every time.
+
+    With snapshots off this builds from scratch.  With a store enabled,
+    a template hit restores the checkpoint instead of re-simulating
+    boot + install; a miss builds fresh, captures the template, then
+    continues the run on the freshly built graph (so the miss run pays
+    one serialise, never a restore).
+    """
+    store = snapshots.active_store()
+    if store is not None:
+        key = snapshots.snapshot_key(spec.bench_id, cfg)
+        restored = store.restore(key)
+        if restored is not None:
+            return restored
     seed = bench_seed(spec.bench_id, cfg)
     system = System(seed=seed, cpus=cfg.cpus, cpu_profile=cfg.cpu_profile)
     stack = boot_android(system, jit_enabled=cfg.jit_enabled)
+    model = spec.factory(seed)
+    if spec.is_android:
+        model.setup_files(system)
+    if store is not None:
+        store.capture(key, (system, stack, model))
+    return system, stack, model
+
+
+def prime_snapshot(bench_id: str, cfg: RunConfig) -> str:
+    """Build (or reuse) the boot template for this config without
+    running any workload; returns the template key.
+
+    Installs the config's calibration override exactly as a real run
+    would, so the captured boot is the one runs will restore.
+    """
+    spec = get_benchmark(bench_id)
+    if cfg.calibration is not None:
+        with use_calibration(cfg.calibration):
+            _prepared_system(spec, cfg)
+    else:
+        _prepared_system(spec, cfg)
+    return snapshots.snapshot_key(bench_id, cfg)
+
+
+def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
+    seed = bench_seed(spec.bench_id, cfg)
+    system, stack, model = _prepared_system(spec, cfg)
 
     if spec.is_android:
-        model = spec.factory(seed)
-        model.setup_files(system)
         system.run_for(cfg.settle_ticks)
         system.profiler.reset()
         window = _open_window(system)
@@ -168,7 +217,6 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
             "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
         }
     else:
-        model = spec.factory(seed)
         system.run_for(cfg.settle_ticks)
         system.profiler.reset()
         window = _open_window(system)

@@ -1,0 +1,278 @@
+"""Boot snapshots: zygote-style warm templates for the simulator itself.
+
+The paper's central object of study is zygote's fork-from-warm-template
+trick — boot the framework once, then stamp out app processes from the
+warm image instead of re-initialising everything per app.  This module
+applies the same idea to the reproduction: the fully booted
+:class:`~repro.sim.system.System` — plus the constructed workload model
+and, for Android benchmarks, the installed app — is checkpointed at the
+pre-settle point, and later runs whose *boot-relevant* config matches
+restore the checkpoint instead of re-simulating boot and install.
+Everything up to the checkpoint is a pure function of the template key;
+everything after it (settle, measurement window, workload) depends on
+the excluded duration/settle knobs and always runs fresh.
+
+Key derivation
+--------------
+A template is addressed by :func:`snapshot_key`: a sha256 over the
+boot-relevant config prefix — ``(bench_seed, jit_enabled, calibration,
+cpus, cpu_profile)`` — plus a snapshot format version.  ``duration_ticks``
+and ``settle_ticks`` are deliberately excluded: the checkpoint precedes
+the settle phase in both the Android and SPEC paths, so every
+duration/settle variant of one boot configuration shares a single
+template.  ``jit_enabled`` and ``cpu_profile`` *are* in the key because
+they change what boot builds (JIT compiler threads; per-core speeds and
+the scheduler policy), so each ablation arm gets its own template.
+
+Restore mechanics
+-----------------
+Templates are stored as pickle bytes plus a *shared table*.  When a
+template is captured, objects that are immutable after construction —
+non-heap :class:`~repro.kernel.vma.VMA`\\ s,
+:class:`~repro.libs.object.MappedObject`/:class:`~repro.libs.object.SharedObject`
+mappings and :class:`~repro.dalvik.method.JavaMethod` descriptors — are
+externalised through the pickler's ``persistent_id`` hook into the table
+instead of being serialised.  Restores hand them back by reference, so
+every system restored from one template shares those immutable objects
+(exactly as fresh boots already share the memoised ``SharedObject``
+catalog) and only the mutable remainder — tasks, processes, schedulers,
+queues, region state — is reconstructed per run.  That asymmetry is the
+speedup: a restore rebuilds roughly a third of the boot object graph.
+
+The mutability audit behind the table is narrow and checked by tests:
+``VMA`` fields are written post-construction only by ``brk`` growth
+(``VMAKind.HEAP``, excluded from sharing); ``SharedObject.add_symbol``
+has no callers after catalog construction; ``JavaMethod`` is frozen.
+
+Store scoping
+-------------
+The store is in-process and enabled explicitly (snapshots are *off* by
+default): the serial and async backends share one module-global store,
+while process-pool workers — which import this module fresh — seed their
+own per-worker store lazily from the ``REPRO_SNAPSHOTS`` environment
+variable that :func:`enable_snapshots` exports.  ``RunConfig`` and the
+result-cache keys are untouched by any of this: snapshots change how a
+run reaches the post-boot state, never what the run computes.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+from repro.dalvik.method import JavaMethod
+from repro.kernel.vma import VMA, VMAKind
+from repro.libs.object import MappedObject, SharedObject
+
+if TYPE_CHECKING:
+    from repro.core.runner import RunConfig
+
+#: Bump when the snapshot payload layout changes (invalidates all keys).
+SNAPSHOT_VERSION = 1
+
+#: Environment flag exported by :func:`enable_snapshots` so spawned
+#: process-pool workers enable their own store on first use.
+ENV_FLAG = "REPRO_SNAPSHOTS"
+
+
+def snapshot_key(bench_id: str, cfg: "RunConfig") -> str:
+    """The template key for one run: boot-relevant config prefix only.
+
+    Two configs differing only in ``duration_ticks``/``settle_ticks``
+    map to the same key and therefore share one boot template.
+    """
+    from repro.core.runner import bench_seed
+
+    payload = {
+        "seed": bench_seed(bench_id, cfg),
+        "jit": cfg.jit_enabled,
+        "calibration": asdict(cfg.calibration) if cfg.calibration else None,
+        "cpus": cfg.cpus,
+        "cpu_profile": cfg.cpu_profile,
+        "snapshot_version": SNAPSHOT_VERSION,
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _shareable(obj: object) -> bool:
+    """Whether *obj* is immutable post-construction and safe to hand to
+    every system restored from the template (see module docstring)."""
+    t = obj.__class__
+    if t is VMA:
+        # brk() grows the [heap] VMA in place; every other VMA field
+        # write happens at construction time.  Heap VMAs stay private.
+        return obj.kind is not VMAKind.HEAP  # type: ignore[attr-defined]
+    return t is MappedObject or t is SharedObject or t is JavaMethod
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """Counters describing one store's session."""
+
+    templates: int
+    hits: int
+    misses: int
+    blob_bytes: int
+    shared_objects: int
+    capture_ms: float
+    restore_ms: float
+
+
+class _Entry:
+    """One captured template: pickle bytes + the shared-object table."""
+
+    __slots__ = ("blob", "table")
+
+    def __init__(self, blob: bytes, table: list) -> None:
+        self.blob = blob
+        self.table = table
+
+
+class SnapshotStore:
+    """In-memory store of boot templates, keyed by :func:`snapshot_key`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.capture_ms = 0.0
+        self.restore_ms = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+
+    def capture(self, key: str, payload: object) -> None:
+        """Checkpoint *payload* (the post-boot object graph) under *key*.
+
+        The caller keeps using the live graph for its own run: capture
+        serialises the current state, it does not consume it.  The
+        cyclic collector is paused for the duration — a dump touches the
+        whole graph and allocates steadily, which otherwise triggers
+        collection passes mid-walk for no benefit.
+        """
+        t0 = time.perf_counter()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        table: list = []
+        index: dict[int, int] = {}
+
+        def persistent_id(obj: object) -> "int | None":
+            if not _shareable(obj):
+                return None
+            idx = index.get(id(obj))
+            if idx is None:
+                idx = len(table)
+                index[id(obj)] = idx
+                table.append(obj)
+            return idx
+
+        try:
+            buf = io.BytesIO()
+            pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+            pickler.persistent_id = persistent_id  # type: ignore[method-assign]
+            pickler.dump(payload)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self._entries[key] = _Entry(buf.getvalue(), table)
+        self.capture_ms += 1e3 * (time.perf_counter() - t0)
+
+    def restore(self, key: str) -> object | None:
+        """A fresh object graph for *key*, or ``None`` on a miss.
+
+        Each call deserialises a new mutable graph; only the audited
+        immutable objects in the shared table are handed back by
+        reference (shared with the template and with sibling restores).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        t0 = time.perf_counter()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()          # a load is one long allocation burst
+        try:
+            unpickler = pickle.Unpickler(io.BytesIO(entry.blob))
+            unpickler.persistent_load = entry.table.__getitem__  # type: ignore[method-assign]
+            payload = unpickler.load()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.hits += 1
+        self.restore_ms += 1e3 * (time.perf_counter() - t0)
+        return payload
+
+    def describe(self, key: str) -> tuple[int, int]:
+        """``(blob_bytes, shared_objects)`` of one stored template."""
+        entry = self._entries[key]
+        return len(entry.blob), len(entry.table)
+
+    def stats(self) -> SnapshotStats:
+        """Session counters (hits/misses include every restore attempt)."""
+        return SnapshotStats(
+            templates=len(self._entries),
+            hits=self.hits,
+            misses=self.misses,
+            blob_bytes=sum(len(e.blob) for e in self._entries.values()),
+            shared_objects=sum(len(e.table) for e in self._entries.values()),
+            capture_ms=self.capture_ms,
+            restore_ms=self.restore_ms,
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-global store plumbing (see "Store scoping" in the module docs).
+
+_active: SnapshotStore | None = None
+_env_checked = False
+
+
+def enable_snapshots(store: SnapshotStore | None = None) -> SnapshotStore:
+    """Turn the snapshot fast path on for this process (and, via the
+    environment, for any process-pool workers spawned afterwards)."""
+    global _active, _env_checked
+    _env_checked = True
+    _active = store if store is not None else SnapshotStore()
+    os.environ[ENV_FLAG] = "1"
+    return _active
+
+
+def disable_snapshots() -> None:
+    """Turn the fast path off and drop the store."""
+    global _active, _env_checked
+    _active = None
+    _env_checked = True
+    os.environ.pop(ENV_FLAG, None)
+
+
+def active_store() -> SnapshotStore | None:
+    """The enabled store, or ``None`` when snapshots are off.
+
+    The first call in a freshly imported process (a spawned pool worker)
+    honours the inherited ``REPRO_SNAPSHOTS`` flag, seeding a per-worker
+    store lazily.
+    """
+    global _active, _env_checked
+    if _active is None and not _env_checked:
+        _env_checked = True
+        if os.environ.get(ENV_FLAG) == "1":
+            _active = SnapshotStore()
+    return _active
+
+
+def snapshots_enabled() -> bool:
+    """Whether the snapshot fast path is currently on."""
+    return active_store() is not None

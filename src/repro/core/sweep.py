@@ -23,9 +23,10 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.calibration import Calibration, profile_cpu_count
+from repro.core import snapshots
 from repro.core.results import ResultCache, RunResult
 from repro.core.runner import RunConfig, dedup_ids, execute_with_cache
 from repro.core.suite import get_benchmark
@@ -447,6 +448,23 @@ class SweepResult:
             return cls.from_json_dict(json.load(fh))
 
 
+def snapshot_execution_order(points: "Sequence[SweepPoint]") -> list[int]:
+    """Indices of *points* grouped by boot-snapshot key.
+
+    Grouping is stable: keys appear in first-occurrence order and points
+    within a group keep their relative grid order, so the reordering is
+    deterministic.  Running a group's points back to back means each
+    boot template is built once and then serves its whole slice while
+    still warm — the sweep-level analogue of zygote forking every app of
+    a session from one warm image.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, point in enumerate(points):
+        key = snapshots.snapshot_key(point.bench_id, point.config)
+        groups.setdefault(key, []).append(index)
+    return [index for indices in groups.values() for index in indices]
+
+
 #: Sweep progress callback: ``(point, elapsed_seconds, result)`` with
 #: ``elapsed=None`` for cache hits, mirroring the suite-level convention.
 SweepProgress = Callable[[SweepPoint, "float | None", RunResult], None]
@@ -484,14 +502,28 @@ class SweepRunner:
         points = spec.expand(variants)
         owned = self.backend.plan_batch(points)
 
-        results = execute_with_cache(
+        # With boot snapshots enabled, execute points grouped by template
+        # key (stable first-occurrence order) so one boot serves a whole
+        # duration/settle slice back to back.  Only the *execution* order
+        # changes — results are put back in canonical grid order below,
+        # so output bytes match the ungrouped run exactly.  Progress
+        # callbacks fire in execution order, as they do for cache hits.
+        order = list(range(len(owned)))
+        if snapshots.snapshots_enabled():
+            order = snapshot_execution_order(owned)
+        executed = [owned[index] for index in order]
+
+        ordered = execute_with_cache(
             self.backend,
             self.cache,
-            [(point.bench_id, point.config) for point in owned],
-            labels=[point.label for point in owned],
-            units=owned,
+            [(point.bench_id, point.config) for point in executed],
+            labels=[point.label for point in executed],
+            units=executed,
             progress=progress,
         )
+        results: "list[RunResult | None]" = [None] * len(owned)
+        for position, index in enumerate(order):
+            results[index] = ordered[position]
 
         out = SweepResult(
             axes={axis.name: list(axis.values) for axis in spec.axes},

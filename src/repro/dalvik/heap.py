@@ -19,10 +19,14 @@ if TYPE_CHECKING:
     from repro.kernel.task import Task
 
 
-def gc_thread(ctx: DalvikContext):
-    """Behaviour factory for a process's GC thread."""
+class GcThread:
+    """A process's GC thread (picklable behaviour factory)."""
 
-    def behavior(task: "Task") -> Iterator[Op]:
+    def __init__(self, ctx: DalvikContext) -> None:
+        self.ctx = ctx
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        ctx = self.ctx
         libdvm = mapped_object(ctx.proc, "libdvm.so")
         while True:
             if not ctx.gc_pending:
@@ -46,13 +50,20 @@ def gc_thread(ctx: DalvikContext):
             ctx.live_bytes = int(ctx.live_bytes * cal.gc_survivor_ratio)
             ctx.gc_cycles += 1
 
-    return behavior
+
+def gc_thread(ctx: DalvikContext) -> GcThread:
+    """Behaviour factory for a process's GC thread."""
+    return GcThread(ctx)
 
 
-def heap_worker_thread(ctx: DalvikContext):
-    """Behaviour factory for HeapWorker (finalisers, ref enqueueing)."""
+class HeapWorkerThread:
+    """HeapWorker (finalisers, ref enqueueing) — picklable factory."""
 
-    def behavior(task: "Task") -> Iterator[Op]:
+    def __init__(self, ctx: DalvikContext) -> None:
+        self.ctx = ctx
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        ctx = self.ctx
         libdvm = mapped_object(ctx.proc, "libdvm.so")
         while True:
             yield Sleep(millis(700))
@@ -60,21 +71,30 @@ def heap_worker_thread(ctx: DalvikContext):
                 "dvmAllocObject", insts=900, data=((ctx.heap_addr(5), 80),)
             )
 
-    return behavior
+
+def heap_worker_thread(ctx: DalvikContext) -> HeapWorkerThread:
+    """Behaviour factory for HeapWorker (finalisers, ref enqueueing)."""
+    return HeapWorkerThread(ctx)
 
 
-def idle_vm_thread(name: str):
-    """Behaviour factory for near-idle VM threads (Signal Catcher, JDWP).
+class IdleVmThread:
+    """Near-idle VM threads (Signal Catcher, JDWP) — picklable factory.
 
     They exist for the paper's thread-count claims and park immediately
     after a tiny startup burst.
     """
 
-    def behavior(task: "Task") -> Iterator[Op]:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
         from repro.kernel.syscalls import kernel_exec
 
-        yield kernel_exec(f"vm_thread_start:{name}", 400, 40)
+        yield kernel_exec(f"vm_thread_start:{self.name}", 400, 40)
         while True:
             yield Sleep(millis(5_000))
 
-    return behavior
+
+def idle_vm_thread(name: str) -> IdleVmThread:
+    """Behaviour factory for near-idle VM threads (Signal Catcher, JDWP)."""
+    return IdleVmThread(name)

@@ -20,10 +20,14 @@ if TYPE_CHECKING:
     from repro.kernel.task import Task
 
 
-def compiler_thread(ctx: DalvikContext):
-    """Behaviour factory for a process's Compiler thread."""
+class CompilerThread:
+    """A process's Compiler thread (picklable behaviour factory)."""
 
-    def behavior(task: "Task") -> Iterator[Op]:
+    def __init__(self, ctx: DalvikContext) -> None:
+        self.ctx = ctx
+
+    def __call__(self, task: "Task") -> Iterator[Op]:
+        ctx = self.ctx
         libdvm = mapped_object(ctx.proc, "libdvm.so")
         while True:
             if not ctx.jit_queue:
@@ -47,4 +51,7 @@ def compiler_thread(ctx: DalvikContext):
                 ),
             )
 
-    return behavior
+
+def compiler_thread(ctx: DalvikContext) -> CompilerThread:
+    """Behaviour factory for a process's Compiler thread."""
+    return CompilerThread(ctx)

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JavaMethod:
     """One Java method's dynamic profile."""
 
@@ -31,6 +31,31 @@ class JavaMethod:
     def __post_init__(self) -> None:
         if self.bytecodes <= 0:
             raise ValueError(f"method {self.name!r} has no bytecodes")
+
+
+# Compact pickle state for the frozen slotted dataclass.  Assigned after
+# class creation because @dataclass(frozen=True, slots=True) installs its
+# own (slower, per-slot-dict) __getstate__/__setstate__ on the rebuilt
+# class; method tables put hundreds of these in every boot snapshot.
+def _method_getstate(self: JavaMethod) -> tuple:
+    return (
+        self.name, self.bytecodes, self.heap_refs,
+        self.stack_refs, self.linear_refs, self.alloc_bytes,
+    )
+
+
+def _method_setstate(self: JavaMethod, state: tuple) -> None:
+    _set = object.__setattr__
+    _set(self, "name", state[0])
+    _set(self, "bytecodes", state[1])
+    _set(self, "heap_refs", state[2])
+    _set(self, "stack_refs", state[3])
+    _set(self, "linear_refs", state[4])
+    _set(self, "alloc_bytes", state[5])
+
+
+JavaMethod.__getstate__ = _method_getstate  # type: ignore[method-assign]
+JavaMethod.__setstate__ = _method_setstate  # type: ignore[attr-defined]
 
 
 def make_method(

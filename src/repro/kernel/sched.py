@@ -375,15 +375,22 @@ class CfsScheduler(Scheduler):
     def _pop_min(self, cpu_id: int) -> Task | None:
         """Pop the min-vruntime runnable task, pruning dead entries and
         ratcheting the queue's virtual clock forward."""
+        # The engine calls this once per dispatch; hot names (the entry
+        # list, the runnable sentinel, the running load total) are bound
+        # locally and the load written back once on exit.
         q = self._runqs[cpu_id]
         entries = q.entries
+        runnable = TaskState.RUNNABLE
+        load = q.load
         while entries:
             vruntime, _, task, weight = entries.pop(0)
-            q.load -= weight
-            if task.state is TaskState.RUNNABLE:
+            load -= weight
+            if task.state is runnable:
+                q.load = load
                 if vruntime > q.min_vruntime:
                     q.min_vruntime = vruntime
                 return task
+        q.load = load
         return None
 
     def _scaled_load(self, cpu_id: int) -> int:
@@ -452,11 +459,14 @@ class CfsScheduler(Scheduler):
         """True when the leftmost runnable waiter on this CPU's queue is
         more entitled than the running task by a full wakeup granularity
         (prevents ping-ponging between near-equal tasks)."""
+        # Polled between ops on every busy CPU — the hottest scheduler
+        # entry point under the CFS policy, hence the local bindings.
         q = self._runqs[cpu_id]
         entries = q.entries
+        runnable = TaskState.RUNNABLE
         while entries:
             vruntime, _, waiter, weight = entries[0]
-            if waiter.state is TaskState.RUNNABLE:
+            if waiter.state is runnable:
                 return vruntime + self.PREEMPT_GRANULARITY_TICKS < task.vruntime
             entries.pop(0)
             q.load -= weight

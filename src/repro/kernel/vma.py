@@ -28,7 +28,7 @@ class VMAKind(enum.Enum):
     KERNEL = "kernel"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Permissions:
     """rwx permission bits of a mapping."""
 
@@ -52,7 +52,7 @@ PERM_RX = Permissions(read=True, execute=True)
 PERM_RWX = Permissions(read=True, write=True, execute=True)
 
 
-@dataclass
+@dataclass(slots=True)
 class VMA:
     """One virtual memory area: ``[start, end)`` with a report label.
 
@@ -83,6 +83,21 @@ class VMA:
                 f"VMA {self.label!r} is not page aligned "
                 f"({self.start:#x}..{self.end:#x})"
             )
+
+    def __getstate__(self) -> tuple:
+        # Tuple state (not the default per-slot dict): VMAs are the most
+        # numerous objects in a boot snapshot, and the compact form keeps
+        # pickling/unpickling on the fast path.
+        return (
+            self.start, self.end, self.label, self.kind,
+            self.perms, self.shared, self.tag, self.cursor,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.start, self.end, self.label, self.kind,
+            self.perms, self.shared, self.tag, self.cursor,
+        ) = state
 
     @property
     def size(self) -> int:

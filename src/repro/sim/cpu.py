@@ -25,6 +25,18 @@ if TYPE_CHECKING:
 class AtomicCPU:
     """Functional CPU: charges blocks to the clock and the profiler."""
 
+    __slots__ = (
+        "clock",
+        "profiler",
+        "cpu_id",
+        "spec",
+        "ticks_per_inst",
+        "capacity",
+        "insts_retired",
+        "blocks_executed",
+        "busy_ticks",
+    )
+
     def __init__(
         self,
         clock: Clock,

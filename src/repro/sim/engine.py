@@ -164,10 +164,15 @@ class Engine:
             # CPUs interleave at block granularity.
             behavior = task.behavior
             if behavior is None:
-                kernel.reap_task(task)
-                best.task = None
-                best.next_at = now
-                continue
+                factory = task.behavior_factory
+                if factory is None:
+                    kernel.reap_task(task)
+                    best.task = None
+                    best.next_at = now
+                    continue
+                # First dispatch: materialise the deferred behaviour.
+                task.behavior = behavior = factory(task)
+                task.behavior_factory = None
             try:
                 op = next(behavior)
             except StopIteration:

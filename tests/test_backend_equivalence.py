@@ -503,3 +503,92 @@ class TestStreamingOverlap:
             ("get", ids[0]), ("get", ids[1]),
             ("put", ids[0]), ("put", ids[1]),
         ]
+
+
+# ----------------------------------------------------------------------
+# (f) Snapshot matrix: the boot-restore fast path must be invisible —
+# byte-identical output through every backend, core count and profile
+
+
+from repro.core import disable_snapshots, enable_snapshots
+
+#: The snapshot differential row: symmetric single-core, symmetric
+#: 4-core (round-robin policy) and the 2+2 big.LITTLE machine (CFS).
+SNAPSHOT_CONFIGS = {
+    "cpus1": FAST,
+    "cpus4": RunConfig(duration_ticks=millis(400), settle_ticks=millis(200),
+                       cpus=4),
+    "biglittle": FAST_BIGLITTLE,
+}
+
+
+@pytest.fixture(scope="module")
+def snapshot_refs(tmp_path_factory):
+    """Reference bytes per config, produced with snapshots OFF."""
+    disable_snapshots()
+    refs = {}
+    for label, cfg in SNAPSHOT_CONFIGS.items():
+        suite = SuiteRunner(cfg, backend=SerialBackend()).run_suite(SUITE_IDS)
+        refs[label] = _suite_bytes(
+            suite, tmp_path_factory.mktemp("snapref") / f"{label}.json"
+        )
+    return refs
+
+
+class TestSnapshotMatrix:
+    @pytest.fixture(autouse=True)
+    def _fresh_store(self):
+        """Each cell starts with a cold store and leaves snapshots off.
+
+        The process backend inherits the fast path through the
+        ``REPRO_SNAPSHOTS`` environment flag its spawned workers read,
+        so that row also covers per-worker store seeding.
+        """
+        disable_snapshots()
+        yield
+        disable_snapshots()
+
+    @pytest.mark.parametrize("label", sorted(SNAPSHOT_CONFIGS))
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_suite_byte_identical_with_snapshots(
+        self, name, label, snapshot_refs, tmp_path
+    ):
+        enable_snapshots()
+        suite = SuiteRunner(
+            SNAPSHOT_CONFIGS[label], backend=_make(name)
+        ).run_suite(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            snapshot_refs[label]
+
+    def test_warm_run_still_byte_identical(self, snapshot_refs, tmp_path):
+        """Second suite through an already-warm store: every boot is a
+        restore, and the bytes still match the snapshot-less reference."""
+        store = enable_snapshots()
+        SuiteRunner(FAST, backend=SerialBackend()).run_suite(SUITE_IDS)
+        assert store.misses == len(SUITE_IDS) and store.hits == 0
+        suite = SuiteRunner(FAST, backend=SerialBackend()).run_suite(SUITE_IDS)
+        assert store.hits == len(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            snapshot_refs["cpus1"]
+
+    def test_duration_sweep_shares_one_template_per_bench(self, tmp_path):
+        """Duration-only axes map every cell of one benchmark to a single
+        template: the sweep driver groups execution by snapshot key, and
+        the store reports one miss plus N-1 hits per benchmark while the
+        saved bytes stay equal to the snapshot-less reference."""
+        spec = SweepSpec(
+            benches=("countdown.main", "999.specrand"),
+            axes=(SweepAxis("duration", (0.25, 0.5, 1.0)),),
+            base=FAST,
+        )
+        disable_snapshots()
+        ref = _sweep_bytes(
+            SweepRunner(backend=SerialBackend()).run(spec), tmp_path / "r.json"
+        )
+        store = enable_snapshots()
+        out = _sweep_bytes(
+            SweepRunner(backend=SerialBackend()).run(spec), tmp_path / "o.json"
+        )
+        assert out == ref
+        assert len(store) == 2                   # one template per benchmark
+        assert store.misses == 2 and store.hits == 4

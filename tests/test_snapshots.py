@@ -1,0 +1,313 @@
+"""Boot snapshot/restore: keys, isolation, determinism, byte-identity.
+
+The fast path must be invisible in the results: a run that restores a
+boot template serialises to exactly the bytes a fresh run produces.
+These tests pin that contract plus the properties it rests on — the
+template key covers precisely the boot-relevant config prefix, restored
+systems share no mutable state with each other or with the template,
+and capture is deterministic for a fixed key.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RunConfig, execute_one, prime_snapshot
+from repro.core import snapshots
+from repro.core.runner import bench_seed
+from repro.core.snapshots import SnapshotStore, _shareable, snapshot_key
+from repro.calibration import Calibration
+from repro.kernel.vma import VMAKind
+from repro.sim.ticks import millis
+
+FAST = RunConfig(duration_ticks=millis(50), settle_ticks=millis(20))
+AGAVE = "music.mp3.view"
+SPEC = "429.mcf"
+
+
+@pytest.fixture(autouse=True)
+def _snapshots_off():
+    """Every test starts and ends with the fast path disabled."""
+    snapshots.disable_snapshots()
+    yield
+    snapshots.disable_snapshots()
+
+
+def _result_bytes(bench_id: str, cfg: RunConfig) -> bytes:
+    result = execute_one(bench_id, cfg)
+    return json.dumps(result.to_json_dict(), sort_keys=True).encode()
+
+
+# ----------------------------------------------------------------------
+# (a) Key derivation: boot-relevant prefix only
+
+
+class TestSnapshotKey:
+    def test_duration_and_settle_are_excluded(self):
+        base = snapshot_key(AGAVE, FAST)
+        for variant in (
+            FAST.scaled(4.0),
+            RunConfig(duration_ticks=millis(999), settle_ticks=FAST.settle_ticks),
+            RunConfig(duration_ticks=FAST.duration_ticks, settle_ticks=0),
+        ):
+            assert snapshot_key(AGAVE, variant) == base
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            RunConfig(seed=99),
+            RunConfig(jit_enabled=False),
+            RunConfig(cpus=4),
+            RunConfig(cpus=4, cpu_profile="2+2"),
+            RunConfig(calibration=Calibration()),
+        ],
+        ids=["seed", "jit", "cpus", "cpu_profile", "calibration"],
+    )
+    def test_boot_knobs_are_included(self, variant):
+        assert snapshot_key(AGAVE, variant) != snapshot_key(AGAVE, RunConfig())
+
+    def test_bench_identity_is_included_via_seed(self):
+        # The key folds the bench id in through bench_seed, so two
+        # benchmarks never share a template even with equal configs.
+        assert snapshot_key(AGAVE, FAST) != snapshot_key(SPEC, FAST)
+        assert bench_seed(AGAVE, FAST) != bench_seed(SPEC, FAST)
+
+    def test_shareable_predicate_excludes_heap_vmas(self):
+        from repro.kernel.vma import VMA
+
+        heap = VMA(start=0x1000, end=0x2000, kind=VMAKind.HEAP, label="[heap]")
+        code = VMA(start=0x4000, end=0x5000, kind=VMAKind.FILE_TEXT, label="x.so")
+        assert not _shareable(heap)
+        assert _shareable(code)
+
+
+# ----------------------------------------------------------------------
+# (b) Byte-identity: the fast path is invisible in the results
+
+
+class TestByteIdentity:
+    def test_miss_then_hit_match_fresh(self):
+        fresh = _result_bytes(AGAVE, FAST)
+        snapshots.enable_snapshots()
+        miss = _result_bytes(AGAVE, FAST)    # cold store: capture path
+        hit = _result_bytes(AGAVE, FAST)     # warm store: restore path
+        store = snapshots.active_store()
+        assert store is not None
+        assert (store.misses, store.hits) == (1, 1)
+        assert miss == fresh and hit == fresh
+
+    def test_variants_share_one_template_and_stay_identical(self):
+        variants = [FAST, FAST.scaled(2.0),
+                    RunConfig(duration_ticks=millis(50), settle_ticks=0)]
+        fresh = [_result_bytes(SPEC, cfg) for cfg in variants]
+        store = snapshots.enable_snapshots()
+        warm = [_result_bytes(SPEC, cfg) for cfg in variants]
+        assert warm == fresh
+        assert len(store) == 1                # one template served all three
+        assert (store.misses, store.hits) == (1, 2)
+
+    def test_spec_and_agave_paths_both_restore(self):
+        store = snapshots.enable_snapshots()
+        for bench_id in (AGAVE, SPEC):
+            a = _result_bytes(bench_id, FAST)
+            b = _result_bytes(bench_id, FAST)
+            assert a == b
+        assert store.hits == 2 and store.misses == 2
+
+    def test_calibrated_runs_restore_byte_identical(self):
+        cfg = RunConfig(duration_ticks=millis(50), settle_ticks=millis(20),
+                        calibration=Calibration())
+        fresh = _result_bytes(AGAVE, cfg)
+        store = snapshots.enable_snapshots()
+        assert _result_bytes(AGAVE, cfg) == fresh
+        assert _result_bytes(AGAVE, cfg) == fresh
+        assert store.hits == 1
+
+
+# ----------------------------------------------------------------------
+# (c) Isolation: restored systems share nothing mutable
+
+
+class TestIsolation:
+    @pytest.fixture()
+    def template(self):
+        store = snapshots.enable_snapshots()
+        key = prime_snapshot(AGAVE, FAST)
+        return store, key
+
+    def test_two_restores_are_distinct_graphs(self, template):
+        store, key = template
+        sys_a, stack_a, model_a = store.restore(key)
+        sys_b, stack_b, model_b = store.restore(key)
+        assert sys_a is not sys_b
+        assert sys_a.kernel is not sys_b.kernel
+        assert sys_a.clock is not sys_b.clock
+        assert stack_a is not stack_b
+        assert model_a is not model_b
+        procs_a = {p.full_name for p in sys_a.kernel.live_processes()}
+        procs_b = {p.full_name for p in sys_b.kernel.live_processes()}
+        assert procs_a == procs_b and len(procs_a) >= 20
+
+    def test_immutables_shared_mutable_containers_private(self, template):
+        store, key = template
+        sys_a, _, _ = store.restore(key)
+        sys_b, _, _ = store.restore(key)
+        shared = 0
+        for proc_a, proc_b in zip(sys_a.kernel.live_processes(),
+                                  sys_b.kernel.live_processes()):
+            assert proc_a is not proc_b       # processes are mutable
+            if proc_a.mm is None:
+                continue
+            assert proc_a.mm is not proc_b.mm  # address spaces too
+            for vma_a, vma_b in zip(proc_a.mm.vmas, proc_b.mm.vmas):
+                assert vma_a.label == vma_b.label
+                if vma_a is vma_b:
+                    # Only audited-immutable VMAs ride the shared table;
+                    # heap VMAs grow in place via brk() and must not.
+                    assert vma_a.kind is not VMAKind.HEAP
+                    shared += 1
+        assert shared > 0                     # the persistent_id table works
+        # At the boot point no [heap] VMA exists yet (brk happens inside
+        # the workload), so the HEAP exclusion in _shareable is purely
+        # defensive — pin that understanding.
+        assert not any(
+            vma.kind is VMAKind.HEAP
+            for proc in sys_a.kernel.live_processes() if proc.mm is not None
+            for vma in proc.mm.vmas
+        )
+
+    def test_mutating_one_restore_leaves_siblings_untouched(self, template):
+        store, key = template
+        sys_a, _, _ = store.restore(key)
+        sys_b, _, _ = store.restore(key)
+        t0 = sys_b.now
+        assert sys_a.now == t0
+
+        # Drive A forward: clock, scheduler state, task accounting and
+        # per-process heaps all move.
+        sys_a.run_for(millis(30))
+        assert sys_a.now > t0
+        assert sys_b.now == t0
+
+        # A third restore still starts from the pristine boot point.
+        sys_c, _, _ = store.restore(key)
+        assert sys_c.now == t0
+        tasks_b = {t.tid: t.vruntime for p in sys_b.kernel.live_processes()
+                   for t in p.tasks}
+        tasks_c = {t.tid: t.vruntime for p in sys_c.kernel.live_processes()
+                   for t in p.tasks}
+        assert tasks_b == tasks_c
+
+    def test_run_after_sibling_mutation_matches_fresh(self, template):
+        """The end-to-end isolation property: burning one restore does
+        not perturb the results computed from the next one."""
+        store, key = template
+        fresh = json.dumps(
+            execute_one(AGAVE, FAST).to_json_dict(), sort_keys=True
+        )
+        sys_a, _, _ = store.restore(key)
+        sys_a.run_for(millis(40))             # scribble on one restore
+        warm = json.dumps(
+            execute_one(AGAVE, FAST).to_json_dict(), sort_keys=True
+        )
+        assert warm == fresh
+
+
+# ----------------------------------------------------------------------
+# (d) Determinism: capture bytes are a pure function of the key
+
+
+class TestDeterminism:
+    def test_two_stores_capture_identical_blobs(self):
+        blobs = []
+        for _ in range(2):
+            store = SnapshotStore()
+            snapshots.enable_snapshots(store)
+            key = prime_snapshot(SPEC, FAST)
+            blob_bytes, table_len = store.describe(key)
+            blobs.append((store._entries[key].blob, table_len))
+            snapshots.disable_snapshots()
+            assert blob_bytes == len(blobs[-1][0])
+        assert blobs[0][0] == blobs[1][0]
+        assert blobs[0][1] == blobs[1][1]
+
+    def test_priming_twice_is_idempotent(self):
+        store = snapshots.enable_snapshots()
+        key1 = prime_snapshot(AGAVE, FAST)
+        key2 = prime_snapshot(AGAVE, FAST.scaled(3.0))
+        assert key1 == key2
+        assert len(store) == 1
+        assert store.hits == 1                # second prime restores
+
+
+# ----------------------------------------------------------------------
+# (e) Store plumbing: env flag + worker-style lazy seeding
+
+
+class TestStoreScoping:
+    def test_enable_exports_env_flag_disable_clears_it(self):
+        import os
+
+        snapshots.enable_snapshots()
+        assert os.environ.get(snapshots.ENV_FLAG) == "1"
+        snapshots.disable_snapshots()
+        assert snapshots.ENV_FLAG not in os.environ
+        assert not snapshots.snapshots_enabled()
+
+    def test_fresh_process_seeds_store_from_env(self):
+        """Simulate a spawned pool worker: module state reset, env flag
+        inherited — the first active_store() call must self-seed."""
+        snapshots.enable_snapshots()
+        snapshots._active = None              # what a fresh import sees
+        snapshots._env_checked = False
+        store = snapshots.active_store()
+        assert store is not None and len(store) == 0
+
+    def test_stats_rollup(self):
+        store = snapshots.enable_snapshots()
+        prime_snapshot(AGAVE, FAST)
+        execute_one(AGAVE, FAST)
+        stats = store.stats()
+        assert stats.templates == 1
+        assert stats.hits == 1 and stats.misses == 1
+        blob_bytes, table_len = store.describe(snapshot_key(AGAVE, FAST))
+        assert stats.blob_bytes == blob_bytes > 0
+        assert stats.shared_objects == table_len > 0
+        assert stats.capture_ms > 0 and stats.restore_ms > 0
+
+
+# ----------------------------------------------------------------------
+# (f) Golden anchors through the restore path
+
+
+def test_restored_runs_reproduce_engine_golden_shas():
+    """The recorded pre-SMP result hashes (tests/test_smp.py) must come
+    out of the *restore* path too — the strongest statement that the
+    fast path is invisible.  Skipped after a deliberate version bump,
+    like the anchors themselves."""
+    import hashlib
+
+    from repro import __version__
+    from repro.sim.ticks import seconds
+
+    if __version__ != "1.0.0":
+        pytest.skip("results intentionally changed by a version bump")
+    cfg = RunConfig(
+        duration_ticks=seconds(1), settle_ticks=millis(200), seed=4242
+    )
+    golden = {
+        "countdown.main":
+            "eb2444f9e8e17285f5356e9488660506061424e9199e75eced1342c4d5843e0e",
+        "music.mp3.view":
+            "c638a9c7e43ef54dac3854d82e6cf8c369c0a265806e54d636ac47c40b354e0e",
+    }
+    store = snapshots.enable_snapshots()
+    for bench_id, want in golden.items():
+        prime_snapshot(bench_id, cfg)         # force the next run to restore
+        payload = json.dumps(
+            execute_one(bench_id, cfg).to_json_dict(), sort_keys=True
+        )
+        assert hashlib.sha256(payload.encode()).hexdigest() == want, bench_id
+    assert store.hits == len(golden)
