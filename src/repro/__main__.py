@@ -18,7 +18,12 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro cache gc .agave-cache --max-bytes 50000000 --dry-run
     python -m repro cache gc .agave-cache --max-entries 100 --lru
     python -m repro sweep --axis duration=0.5,1,2 --snapshots
+    python -m repro sweep --axis cal.preset=baseline,lowend,highend
     python -m repro snapshot stats --bench music.mp3.view
+    python -m repro fleet --devices 1000 --profile-mix none=3,2+2=1 \\
+        --preset-mix baseline=2,lowend=1 --jobs 4 --snapshots --progress
+    python -m repro fleet --devices 1000 --shard 1/2 --out shard1.json
+    python -m repro fleet --merge shard1.json shard2.json
 
 Execution flags (``--jobs``, ``--backend``, ``--window``, ``--cache``,
 ``--progress``) apply wherever benchmarks may actually run: ``suite``,
@@ -58,8 +63,12 @@ from repro.analysis.render import (
 )
 from repro.analysis.smp import smp_rows
 from repro.analysis.sweep import METRICS, resolve_metric, sweep_tables
+from repro.analysis.fleet import render_fleet_report
 from repro.core import (
     BACKEND_NAMES,
+    FleetResult,
+    FleetSpec,
+    ProgressMeter,
     ResultCache,
     RunConfig,
     RunResult,
@@ -72,7 +81,9 @@ from repro.core import (
     enable_snapshots,
     make_backend,
     parse_axis,
+    parse_mix,
     prime_snapshot,
+    run_fleet,
     snapshot_key,
 )
 from repro.core.snapshots import active_store
@@ -262,6 +273,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    if args.merge:
+        # Merge mode: no simulation — fold saved shard results together.
+        if args.devices is not None or args.shard:
+            raise ConfigError(
+                "fleet --merge combines saved result files; it takes no "
+                "--devices or --shard"
+            )
+        merged: FleetResult | None = None
+        for path in args.merge:
+            shard_result = FleetResult.load(path)
+            if merged is None:
+                merged = shard_result
+            else:
+                merged.merge(shard_result)
+        assert merged is not None  # argparse nargs="+" guarantees one
+        if args.out:
+            merged.save(args.out)
+            print(f"saved merged fleet result to {args.out}")
+        print(render_fleet_report(merged))
+        return 0
+
+    if args.devices is None:
+        raise ConfigError("fleet needs --devices N (or --merge FILES)")
+    none_aware = lambda s: None if s.lower() == "none" else s
+    spec = FleetSpec(
+        devices=args.devices,
+        seed=args.seed,
+        bench_mix=parse_mix(args.bench_mix) if args.bench_mix else (),
+        profile_mix=(
+            parse_mix(args.profile_mix, none_aware)
+            if args.profile_mix
+            else ((None, 1.0),)
+        ),
+        preset_mix=(
+            parse_mix(args.preset_mix)
+            if args.preset_mix
+            else (("baseline", 1.0),)
+        ),
+        scale_mix=(
+            parse_mix(args.scale_mix, float)
+            if args.scale_mix
+            else ((1.0, 1.0),)
+        ),
+        base=_config(args),
+        capacity=args.capacity,
+    )
+    # A fleet is the streaming path par excellence: default to the async
+    # backend whenever parallelism is requested, so sketches fold in
+    # while later units still simulate.
+    backend_name = args.backend
+    if backend_name is None and args.jobs > 1:
+        backend_name = "async"
+    backend = make_backend(backend_name, jobs=args.jobs,
+                           shard=getattr(args, "shard", None),
+                           window=args.window)
+    progress = None
+    if args.progress:
+        units_total = len(backend.plan_batch(spec.units()))
+        progress = ProgressMeter(units_total, every=args.progress_every)
+    result = run_fleet(
+        spec,
+        backend=backend,
+        cache=ResultCache(args.cache) if args.cache else None,
+        progress=progress,
+    )
+    if args.out:
+        result.save(args.out)
+        print(f"saved fleet result ({result.devices_done} devices, "
+              f"{result.units_total} units) to {args.out}")
+    print(render_fleet_report(result))
+    _print_snapshot_stats()
+    return 0
+
+
 def cmd_cache_stats(args: argparse.Namespace) -> int:
     # A stats query must not conjure the directory into existence: a
     # typo'd path should error, not report a healthy empty cache.
@@ -409,7 +495,8 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
                          help="sweep axis: jit=on,off | seed=1,2,3 | "
-                              "duration=0.5,1.0 | cal.<field>=A,B "
+                              "duration=0.5,1.0 | cal.preset=baseline,lowend "
+                              "| cal.<field>=A,B "
                               "(repeatable; order fixes the grid)")
     p_sweep.add_argument("--bench", action="append", metavar="ID",
                          help="sweep only this benchmark (repeatable; "
@@ -421,6 +508,39 @@ def make_parser() -> argparse.ArgumentParser:
                               + ", or per-core cpuN_refs/cpuN_share/cpuN_busy")
     _add_exec_flags(p_sweep, sharding=True)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="Monte-Carlo a device population and report metric "
+             "distributions (streaming reduction: O(metrics) memory)",
+    )
+    p_fleet.add_argument("--devices", type=int, metavar="N",
+                         help="population size to sample")
+    p_fleet.add_argument("--bench-mix", metavar="ID=W,ID=W",
+                         help="weighted benchmark mix (default: uniform "
+                              "over the Agave app suite)")
+    p_fleet.add_argument("--profile-mix", metavar="P=W,P=W",
+                         help="weighted cpu-profile mix, e.g. "
+                              "none=3,2+2=1 (none = the symmetric base "
+                              "machine)")
+    p_fleet.add_argument("--preset-mix", metavar="NAME=W,NAME=W",
+                         help="weighted calibration-preset mix, e.g. "
+                              "baseline=2,lowend=1,highend=1")
+    p_fleet.add_argument("--scale-mix", metavar="F=W,F=W",
+                         help="weighted calibration scale-factor mix, "
+                              "e.g. 1=3,1.2=1 (per-device unit variation)")
+    p_fleet.add_argument("--capacity", type=int, default=1024, metavar="K",
+                         help="bottom-k percentile sample bound per metric "
+                              "(percentiles are exact up to K devices)")
+    p_fleet.add_argument("--out", help="save the fleet result JSON here")
+    p_fleet.add_argument("--merge", nargs="+", metavar="FILE",
+                         help="merge saved shard results instead of running")
+    p_fleet.add_argument("--progress-every", type=int, default=16,
+                         metavar="K",
+                         help="with --progress: print rate/ETA every K "
+                              "completed units instead of one line per unit")
+    _add_exec_flags(p_fleet, sharding=True)
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

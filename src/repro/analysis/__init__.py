@@ -19,6 +19,7 @@ from repro.analysis.figures import (
     figure3,
     figure4,
 )
+from repro.analysis.fleet import DEFAULT_PERCENTILES, render_fleet_report
 from repro.analysis.render import (
     render_breakdown_csv,
     render_breakdown_table,
@@ -41,6 +42,7 @@ from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, tabl
 
 __all__ = [
     "Claim",
+    "DEFAULT_PERCENTILES",
     "METRICS",
     "SmpRow",
     "StackedBreakdown",
@@ -63,6 +65,7 @@ __all__ = [
     "render_breakdown_csv",
     "render_breakdown_table",
     "render_claims",
+    "render_fleet_report",
     "render_smp_table",
     "render_stacked_ascii",
     "render_sweep_table",

@@ -1,0 +1,86 @@
+"""The fleet report: population census + per-metric distributions.
+
+A fleet run's entire aggregation state is a
+:class:`~repro.core.stats.SketchSet`, so the report is a pure function
+of the :class:`~repro.core.fleet.FleetResult` JSON — it renders
+identically from a live run, a loaded file, or merged shards (and the
+merged-shard report *is* the unsharded report, byte for byte).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.fleet import FleetResult
+
+#: Tail-focused default percentile columns: the population question is
+#: usually "what do the slow devices see?", so the right tail dominates.
+DEFAULT_PERCENTILES = (5.0, 50.0, 90.0, 99.0)
+
+
+def render_fleet_report(
+    result: "FleetResult",
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    width: int = 16,
+) -> str:
+    """The full fleet report: census tables, then one distribution row
+    per metric (mean/min/percentiles/max plus sample provenance)."""
+    out = io.StringIO()
+    out.write(
+        f"Fleet of {result.devices} devices "
+        f"({result.devices_done} aggregated, {result.units_total} unique "
+        f"units, spec {result.spec_digest[:12]})\n"
+    )
+    if not result.complete:
+        out.write(
+            f"NOTE: partial result — {result.devices - result.devices_done} "
+            f"device(s) not yet aggregated (merge the remaining shards)\n"
+        )
+
+    out.write("\nSampled population\n")
+    for table in ("bench", "profile", "preset", "scale"):
+        counts = result.population.get(table, {})
+        if not counts:
+            continue
+        # Single-valued tables are the mix's degenerate default — a line
+        # each keeps the census honest without padding the report.
+        parts = ", ".join(
+            f"{value}={count}"
+            for value, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+        out.write(f"  {table:<8} {parts}\n")
+
+    out.write("\nMetric distributions over devices\n")
+    header = "metric".ljust(18) + "mean".rjust(width) + "min".rjust(width)
+    for q in percentiles:
+        header += f"p{format(q, 'g')}".rjust(width)
+    header += "max".rjust(width) + "sample".rjust(10)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for name in result.sketches.names():
+        sketch = result.sketches[name]
+        cells = [sketch.mean(), sketch.minimum or 0.0]
+        cells += [sketch.percentile(q) for q in percentiles]
+        cells.append(sketch.maximum or 0.0)
+        fractional = any(abs(c) < 1000 and c != int(c) for c in cells)
+        fmt = f"{width},.2f" if fractional else f"{width},.0f"
+        line = name.ljust(18) + "".join(format(c, fmt) for c in cells)
+        tag = (
+            "exact"
+            if sketch.exact
+            else f"k={sketch.sample_size}"
+        )
+        out.write(line + tag.rjust(10) + "\n")
+    if any(
+        not result.sketches[name].exact for name in result.sketches.names()
+    ):
+        k = result.sketches.capacity
+        out.write(
+            f"(percentiles marked k=… are estimated from a uniform "
+            f"bottom-k sample of {k}; rank error ~O(sqrt(q(1-q)/k)))\n"
+        )
+    return out.getvalue()

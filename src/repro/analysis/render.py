@@ -146,6 +146,12 @@ def render_sweep_table(table: "SweepTable", width: int = 22) -> str:
         for metric, delta in zip(row.metrics[1:], row.deltas[1:]):
             line += f"{metric:{cell}}{delta:+9.1f}"
         out.write(line + "\n")
+    if table.dropped:
+        out.write(
+            f"({table.dropped} row{'s' if table.dropped != 1 else ''} "
+            f"dropped: incomplete grid — merge all shards for the full "
+            f"table)\n"
+        )
     return out.getvalue()
 
 

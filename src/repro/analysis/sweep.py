@@ -100,6 +100,10 @@ class SweepTable:
     value_labels: tuple[str, ...]
     metric: str
     rows: tuple[SweepRow, ...]
+    #: Rows omitted because at least one axis value's cell was missing
+    #: (an unmerged shard, a partial grid).  Carried so renderers can
+    #: say so — a table silently missing rows reads as a complete grid.
+    dropped: int = 0
 
 
 def _deltas(metrics: "tuple[float, ...]") -> "tuple[float, ...]":
@@ -118,7 +122,8 @@ def axis_table(
     sweep holds only its slice of the grid, and a delta is only
     meaningful when every value of the axis is present for the row
     (merge the shards via :meth:`~repro.core.sweep.SweepResult.merge`
-    to get the full table).
+    to get the full table).  The drop is counted, never silent — the
+    table carries :attr:`SweepTable.dropped` and renderers report it.
     """
     if axis not in result.axes:
         raise AnalysisError(
@@ -133,6 +138,7 @@ def axis_table(
     )
 
     rows = []
+    dropped = 0
     for bench_id in result.benches():
         for combo in other_combos:
             fixed = dict(zip(other_names, combo))
@@ -146,6 +152,7 @@ def axis_table(
                     break
                 metrics.append(measure(run))
             if len(metrics) != len(result.axes[axis]):
+                dropped += 1
                 continue
             rows.append(
                 SweepRow(
@@ -162,6 +169,7 @@ def axis_table(
         ),
         metric=metric,
         rows=tuple(rows),
+        dropped=dropped,
     )
 
 

@@ -101,6 +101,43 @@ CAL = Calibration()
 
 
 # ---------------------------------------------------------------------------
+# Named calibration presets (device-class ablations)
+
+#: Named device-class calibrations, selectable as the ``cal.preset``
+#: sweep/fleet axis.  Each is a coherent bundle of per-unit costs rather
+#: than a single-field override: ``lowend`` models a cheaper handset
+#: (slower pixel pipeline, weaker interpreter, half the JIT code cache,
+#: earlier GC pressure), ``highend`` a flagship (faster pixels, larger
+#: code cache, later GC).  ``baseline`` is the fitted paper calibration.
+CAL_PRESETS: dict[str, Calibration] = {
+    "baseline": Calibration(),
+    "lowend": replace(
+        Calibration().scaled(1.4),
+        interp_insts_per_bytecode=16.0,
+        jit_cache_flush_bytes=160 * 1024,
+        gc_trigger_bytes=512 * 1024,
+    ),
+    "highend": replace(
+        Calibration().scaled(0.7),
+        interp_insts_per_bytecode=12.0,
+        jit_cache_flush_bytes=640 * 1024,
+        gc_trigger_bytes=1024 * 1024,
+    ),
+}
+
+
+def calibration_preset(name: str) -> Calibration:
+    """Look up a named preset (``ConfigError`` on an unknown name)."""
+    try:
+        return CAL_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown calibration preset {name!r}; "
+            f"known: {', '.join(CAL_PRESETS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
 # CPU profiles (big.LITTLE-style asymmetric core speeds)
 
 

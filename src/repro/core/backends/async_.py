@@ -171,6 +171,7 @@ class AsyncBackend:
         self,
         items: "Iterable[tuple[str, RunConfig]]",
         on_result: BatchProgress | None = None,
+        collect: bool = True,
     ) -> "list[RunResult]":
         """Consume *items* lazily, keeping at most ``window`` in flight.
 
@@ -179,6 +180,14 @@ class AsyncBackend:
         misses simulate); completions are handled on a dedicated thread.
         A worker failure stops consumption, waits for in-flight units,
         and re-raises the original exception.
+
+        With *collect* off, no result is retained after its
+        ``on_result`` invocation returns — neither in the returned list
+        (which is empty) nor in a completed future (each future is
+        dropped the moment its completion is handled) — so a
+        streaming-reduction caller holds the only reference and peak
+        memory stays bounded by the in-flight window however long the
+        stream runs.
         """
         pulled = iter(items)
         try:
@@ -190,6 +199,12 @@ class AsyncBackend:
         in_flight = _InflightGate(self.window)
         failure: list[BaseException] = []
         stop = threading.Event()
+        #: Futures submitted but not yet completion-handled.  Tracked as
+        #: a set (not an append-only list) so a handled future — and the
+        #: result object it pins — is dropped immediately; the set also
+        #: scopes failure-path cancellation to genuinely pending work.
+        in_flight_futures: set = set()
+        futures_lock = threading.Lock()
 
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         completer = ThreadPoolExecutor(
@@ -199,7 +214,8 @@ class AsyncBackend:
         def complete(index: int, bench_id: str, future) -> None:
             try:
                 result, elapsed = future.result()
-                results[index] = result
+                if collect:
+                    results[index] = result
                 self.executed.append(bench_id)
                 if self.adaptive:
                     self._observe(result, in_flight)
@@ -210,9 +226,10 @@ class AsyncBackend:
                     failure.append(exc)
                 stop.set()
             finally:
+                with futures_lock:
+                    in_flight_futures.discard(future)
                 in_flight.release()
 
-        submitted = []
         try:
             for index, (bench_id, cfg) in enumerate(
                 itertools.chain([first], pulled)
@@ -221,9 +238,13 @@ class AsyncBackend:
                 if stop.is_set():
                     in_flight.release()
                     break
-                results.append(None)
+                if collect:
+                    results.append(None)
                 future = pool.submit(_timed_worker, bench_id, cfg)
-                submitted.append(future)
+                with futures_lock:
+                    in_flight_futures.add(future)
+                # Registered only after the future is tracked, so the
+                # completion handler's discard always finds it.
                 future.add_done_callback(
                     lambda fut, i=index, bid=bench_id: completer.submit(
                         complete, i, bid, fut
@@ -231,7 +252,9 @@ class AsyncBackend:
                 )
         finally:
             if stop.is_set():
-                for future in submitted:
+                with futures_lock:
+                    doomed = list(in_flight_futures)
+                for future in doomed:
                     future.cancel()
             # Shutdown order matters: the pool first (so every done
             # callback has handed its future to the completer), then the

@@ -150,6 +150,15 @@ class StreamingBackend(ExecutionBackend, Protocol):
     in that same order, and — unlike the batch methods — ``on_result``
     may be invoked concurrently with the calling thread, so shared
     callbacks must synchronise.
+
+    Implementations *may* additionally accept a keyword-only-style
+    ``collect: bool = True`` parameter: with ``collect=False`` the
+    backend must not retain any result past its ``on_result`` call and
+    returns an empty list, so a streaming *reduction* (fleet-scale
+    aggregation) runs in O(window) memory no matter how many units pass
+    through.  Callers probe for the parameter by signature
+    (:func:`~repro.core.runner._stream_supports_collect`) — a backend
+    without it simply materialises, which is correct, just not bounded.
     """
 
     def execute_stream(

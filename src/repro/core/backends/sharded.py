@@ -8,6 +8,7 @@ input (order preserved within each shard).
 
 from __future__ import annotations
 
+import inspect
 from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
 
 from repro.core.backends.base import (
@@ -110,14 +111,23 @@ class ShardedBackend:
         self,
         items: "Iterable[tuple[str, RunConfig]]",
         on_result: BatchProgress | None = None,
+        collect: bool = True,
     ) -> "list[RunResult]":
         """Stream through the inner backend when it can, else materialise.
 
         Sharding itself happened in :meth:`plan_batch` — by the time a
         stream reaches execution, the items are already this shard's —
-        so streaming is purely the inner backend's concern.
+        so streaming is purely the inner backend's concern.  ``collect``
+        is forwarded when the inner stream understands it; a batch-only
+        inner backend materialises regardless (its results list exists
+        either way), and the no-collect contract is honoured by
+        returning none of them.
         """
         inner_stream = getattr(self.inner, "execute_stream", None)
         if inner_stream is not None:
-            return inner_stream(items, on_result)
-        return self.inner.execute_batch(list(items), on_result)
+            if "collect" in inspect.signature(inner_stream).parameters:
+                return inner_stream(items, on_result, collect=collect)
+            results = inner_stream(items, on_result)
+            return results if collect else []
+        results = self.inner.execute_batch(list(items), on_result)
+        return results if collect else []

@@ -297,6 +297,40 @@ def dedup_ids(ids: Iterable[str]) -> list[str]:
     return out
 
 
+class Reducer:
+    """Consumes completed runs as they arrive off the execution stream.
+
+    The aggregation half of :func:`execute_with_cache`: ``consume`` is
+    invoked once per unit — cache hits and fresh completions alike, in
+    arrival order, serialised under the orchestration lock — and
+    ``finish`` returns whatever the reduction produced.  A reducer that
+    only keeps summaries (see :class:`~repro.core.stats.SketchSet`)
+    gives the whole pipeline O(metrics) aggregation memory; the
+    materialising :class:`~repro.core.sweep.SweepResult` path is just
+    another reducer.
+    """
+
+    def consume(self, unit: object, run: RunResult) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> object:
+        raise NotImplementedError
+
+
+def _stream_supports_collect(execute_stream: object) -> bool:
+    """Whether a backend's ``execute_stream`` accepts ``collect``.
+
+    Third-party/test backends may predate the flag; they simply keep
+    materialising their return list (correct, just not O(1) memory).
+    """
+    import inspect
+
+    try:
+        return "collect" in inspect.signature(execute_stream).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 def execute_with_cache(
     backend: "ExecutionBackend",
     cache: ResultCache | None,
@@ -304,33 +338,55 @@ def execute_with_cache(
     labels: Sequence[str],
     units: Sequence[object],
     progress: "Callable[[object, float | None, RunResult], None] | None" = None,
-) -> list[RunResult]:
+    reducer: Reducer | None = None,
+    retain_results: bool = True,
+) -> "list[RunResult] | None":
     """Run a planned batch through *cache* then *backend*.
 
-    The one cache-aware batch orchestration both the suite runner and
-    the sweep runner use: per-item cache lookup (hits reported through
+    The one cache-aware batch orchestration the suite, sweep and fleet
+    runners all use: per-item cache lookup (hits reported through
     *progress* with ``elapsed=None``), misses executed with completed
     runs stored back, lost results raised as a
     :class:`~repro.core.backends.BackendError` naming the matching
     *labels*, and hit/miss counters flushed even on failure.  *units*
-    are what *progress* receives for each item (bench ids for suites,
-    :class:`~repro.core.sweep.SweepPoint` objects for sweeps).  Returns
-    one result per item, in item order.
+    are what *progress* and *reducer* receive for each item (bench ids
+    for suites, :class:`~repro.core.sweep.SweepPoint` objects for
+    sweeps, fleet work units).  Returns one result per item, in item
+    order — unless *retain_results* is off, in which case results are
+    handed to the *reducer*/*progress* callbacks as they arrive and
+    **never retained** here (the streaming-reduction path: aggregation
+    memory stays O(metrics) however large the batch) and the return
+    value is ``None``.
 
     A backend advertising ``execute_stream`` (see
     :class:`~repro.core.backends.StreamingBackend`) is fed lazily: the
     cache probe for each item happens as the backend pulls it, so
     lookups for later units overlap simulations already in flight, and
     cache writes run inside the backend's completion handling (off the
-    critical path for the async backend).  Completion callbacks may then
-    be concurrent with the probing thread, so result recording and
-    *progress* invocations are serialised under a lock — results stay a
-    pure function of ``(bench_id, config)`` either way, byte-identical
-    to the batch path.
+    critical path for the async backend).  With *retain_results* off,
+    backends whose ``execute_stream`` takes a ``collect`` flag are asked
+    not to materialise their return list either.  Completion callbacks
+    may be concurrent with the probing thread, so result recording,
+    *reducer* consumption and *progress* invocations are serialised
+    under a lock — results stay a pure function of ``(bench_id,
+    config)`` either way, byte-identical to the batch path.
     """
-    results: "list[RunResult | None]" = [None] * len(items)
+    results: "list[RunResult | None] | None" = (
+        [None] * len(items) if retain_results else None
+    )
+    done = bytearray(len(items))
     pending: list[int] = []
     lock = threading.Lock()
+
+    def record(index: int, elapsed: "float | None", run: RunResult) -> None:
+        """Account one completed unit (caller holds the lock)."""
+        done[index] = 1
+        if results is not None:
+            results[index] = run
+        if reducer is not None:
+            reducer.consume(units[index], run)
+        if progress is not None:
+            progress(units[index], elapsed, run)
 
     def probe(index: int) -> bool:
         """Look one item up in the cache; record a hit or mark it pending."""
@@ -340,9 +396,7 @@ def execute_with_cache(
             pending.append(index)
             return False
         with lock:
-            results[index] = hit
-            if progress is not None:
-                progress(units[index], None, hit)
+            record(index, None, hit)
         return True
 
     def on_result(batch_index: int, elapsed: float, run: RunResult) -> None:
@@ -355,9 +409,7 @@ def execute_with_cache(
             bench_id, cfg = items[index]
             cache.put(bench_id, cfg, run)
         with lock:
-            results[index] = run
-            if progress is not None:
-                progress(units[index], elapsed, run)
+            record(index, elapsed, run)
 
     execute_stream = getattr(backend, "execute_stream", None)
 
@@ -369,7 +421,10 @@ def execute_with_cache(
 
     try:
         if execute_stream is not None:
-            returned = execute_stream(misses(), on_result)
+            if not retain_results and _stream_supports_collect(execute_stream):
+                returned = execute_stream(misses(), on_result, collect=False)
+            else:
+                returned = execute_stream(misses(), on_result)
         else:
             for index in range(len(items)):
                 probe(index)
@@ -377,13 +432,20 @@ def execute_with_cache(
                 [items[index] for index in pending], on_result
             )
         # Belt and braces: a backend that returns a fully aligned list
-        # without driving the callback still yields a complete batch.
-        if len(returned) == len(pending):
+        # without driving the callback still yields a complete batch
+        # (recorded without a *progress* event, as before the reducer
+        # hook existed — only the callback path carries timing).
+        if returned is not None and len(returned) == len(pending):
             for batch_index, run in enumerate(returned):
                 index = pending[batch_index]
-                if results[index] is None and run is not None:
-                    results[index] = run
-        missing = [labels[index] for index in pending if results[index] is None]
+                if not done[index] and run is not None:
+                    with lock:
+                        done[index] = 1
+                        if results is not None:
+                            results[index] = run
+                        if reducer is not None:
+                            reducer.consume(units[index], run)
+        missing = [labels[index] for index in pending if not done[index]]
         if missing:
             raise shortfall_error(backend, missing, len(pending))
     finally:
@@ -391,7 +453,7 @@ def execute_with_cache(
         # hits already served this session happened either way.
         if cache is not None:
             cache.flush_stats()
-    return results  # type: ignore[return-value]  # all slots filled above
+    return results
 
 
 class SuiteRunner:

@@ -25,10 +25,15 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
-from repro.calibration import Calibration, profile_cpu_count
+from repro.calibration import (
+    CAL_PRESETS,
+    Calibration,
+    calibration_preset,
+    profile_cpu_count,
+)
 from repro.core import snapshots
 from repro.core.results import ResultCache, RunResult
-from repro.core.runner import RunConfig, dedup_ids, execute_with_cache
+from repro.core.runner import Reducer, RunConfig, dedup_ids, execute_with_cache
 from repro.core.suite import get_benchmark
 from repro.errors import AnalysisError, ConfigError
 
@@ -41,6 +46,7 @@ AXIS_JIT = "jit"
 AXIS_DURATION = "duration"
 AXIS_CPUS = "cpus"
 AXIS_CPU_PROFILE = "cpu_profile"
+AXIS_CAL_PRESET = "cal.preset"
 CAL_PREFIX = "cal."
 
 _CAL_FIELDS = {f.name for f in fields(Calibration)}
@@ -81,6 +87,12 @@ class SweepAxis:
     - ``cpu_profile`` — big.LITTLE profiles (``"2+2"``-style strings; a
       profile also sets ``cpus`` to its core count) or ``None``
       (CLI spelling ``none``) for the symmetric default.
+    - ``cal.preset`` — named device-class calibrations from
+      :data:`~repro.calibration.CAL_PRESETS`.  A preset replaces the
+      config's calibration wholesale (it is a coherent bundle), so
+      order it *before* any ``cal.<field>`` axis that should refine it.
+      ``baseline`` canonicalises to the default calibration, sharing
+      cache entries with unswept runs.
     - ``cal.<field>`` — numeric overrides of one
       :class:`~repro.calibration.Calibration` field.
     """
@@ -117,6 +129,13 @@ class SweepAxis:
                         "cpu_profile axis values must be strings or None"
                     )
                 profile_cpu_count(v)  # parse-validates the profile
+        elif self.name == AXIS_CAL_PRESET:
+            for v in self.values:
+                if not isinstance(v, str):
+                    raise ConfigError(
+                        "cal.preset axis values must be preset names"
+                    )
+                calibration_preset(v)  # validates the name
         elif self.name.startswith(CAL_PREFIX):
             cal_field = self.name[len(CAL_PREFIX):]
             if cal_field not in _CAL_FIELDS:
@@ -131,7 +150,7 @@ class SweepAxis:
             raise ConfigError(
                 f"unknown axis {self.name!r}; known: {AXIS_SEED}, {AXIS_JIT}, "
                 f"{AXIS_DURATION}, {AXIS_CPUS}, {AXIS_CPU_PROFILE}, "
-                f"{CAL_PREFIX}<field>"
+                f"{AXIS_CAL_PRESET}, {CAL_PREFIX}<field>"
             )
 
     def apply(self, cfg: RunConfig, value: object) -> RunConfig:
@@ -160,6 +179,13 @@ class SweepAxis:
             # machine whatever the base config said.
             return replace(cfg, cpu_profile=value,
                            cpus=profile_cpu_count(value))
+        if self.name == AXIS_CAL_PRESET:
+            cal = calibration_preset(value)
+            # ``baseline`` IS the default: canonicalise to None so the
+            # cell shares its cache key with unswept runs of the config.
+            return replace(
+                cfg, calibration=None if cal == Calibration() else cal
+            )
         base_cal = cfg.calibration if cfg.calibration is not None else Calibration()
         return replace(
             cfg,
@@ -188,6 +214,8 @@ def parse_axis(text: str) -> SweepAxis:
     for raw in raw_values:
         if name == AXIS_CPU_PROFILE:
             parsed.append(None if raw.lower() == "none" else raw)
+        elif name == AXIS_CAL_PRESET:
+            parsed.append(raw)
         elif name == AXIS_JIT:
             lowered = raw.lower()
             if lowered in ("on", "true", "1"):
@@ -470,6 +498,56 @@ def snapshot_execution_order(points: "Sequence[SweepPoint]") -> list[int]:
 SweepProgress = Callable[[SweepPoint, "float | None", RunResult], None]
 
 
+class MaterializingReducer(Reducer):
+    """The reducer that rebuilds today's :class:`SweepResult`.
+
+    Materialisation is just one reduction among several: this one keeps
+    every cell (so it is O(grid) memory, exactly as before the reducer
+    seam existed), while a fleet's :class:`~repro.core.stats.SketchSet`
+    reduction keeps O(metrics).  Cells arrive in *execution* order —
+    snapshot-grouped, or async completion order racing ahead — and
+    :meth:`finish` re-emits them in canonical grid order, so the
+    resulting JSON is byte-identical to the historical non-streamed
+    output whatever order execution took.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        variants: "list[tuple[str, dict[str, object], RunConfig]]",
+        points: "Sequence[SweepPoint]",
+        owned: "Sequence[SweepPoint]",
+    ) -> None:
+        self._spec = spec
+        self._variants = variants
+        self._points = points
+        self._owned = owned
+        self._runs: "dict[tuple[str, str], RunResult]" = {}
+
+    def consume(self, unit: SweepPoint, run: RunResult) -> None:
+        self._runs[(unit.bench_id, unit.variant)] = run
+
+    def finish(self) -> SweepResult:
+        out = SweepResult(
+            axes={
+                axis.name: list(axis.values) for axis in self._spec.axes
+            },
+            variant_values={
+                label: dict(values) for label, values, _ in self._variants
+            },
+            bench_ids=list(
+                dict.fromkeys(p.bench_id for p in self._points)
+            ),
+        )
+        for point in self._owned:
+            out.add(
+                point.bench_id,
+                point.variant,
+                self._runs[(point.bench_id, point.variant)],
+            )
+        return out
+
+
 class SweepRunner:
     """Expands a :class:`SweepSpec` and executes it as one flat batch.
 
@@ -482,6 +560,14 @@ class SweepRunner:
     :class:`~repro.core.backends.AsyncBackend`) pulls the flattened grid
     lazily instead, so per-point cache lookups and result writes overlap
     points still simulating — without changing the result bytes.
+
+    The run is three separable stages — :meth:`plan` (grid expansion and
+    backend ownership), :meth:`execute` (cache-aware execution feeding
+    an optional streaming :class:`~repro.core.runner.Reducer`), and
+    reduction (the reducer's ``finish``).  :meth:`run` wires them with a
+    :class:`MaterializingReducer` for the classic full-grid result;
+    :meth:`run_reduced` wires any other reducer with per-run retention
+    off, which is the fleet-scale O(metrics) path.
     """
 
     def __init__(
@@ -494,20 +580,48 @@ class SweepRunner:
         self.backend = backend if backend is not None else SerialBackend()
         self.cache = cache
 
-    def run(
-        self, spec: SweepSpec, progress: SweepProgress | None = None
-    ) -> SweepResult:
-        """Execute every grid cell (cache hits skip simulation)."""
+    # ------------------------------------------------------------------
+    # Stage 1: plan
+
+    def plan(
+        self, spec: SweepSpec
+    ) -> "tuple[list[tuple[str, dict[str, object], RunConfig]], list[SweepPoint], list[SweepPoint]]":
+        """Expand the grid and settle ownership.
+
+        Returns ``(variants, points, owned)``: the variant table, the
+        full canonical grid, and the backend's owned slice of it (the
+        full grid everywhere but under a sharded backend).  Planning
+        happens before cache filtering, so shard partitions never shift
+        with cache contents.
+        """
         variants = spec.variants()
         points = spec.expand(variants)
         owned = self.backend.plan_batch(points)
+        return variants, points, owned
 
-        # With boot snapshots enabled, execute points grouped by template
-        # key (stable first-occurrence order) so one boot serves a whole
-        # duration/settle slice back to back.  Only the *execution* order
-        # changes — results are put back in canonical grid order below,
-        # so output bytes match the ungrouped run exactly.  Progress
-        # callbacks fire in execution order, as they do for cache hits.
+    # ------------------------------------------------------------------
+    # Stage 2: execute
+
+    def execute(
+        self,
+        owned: "Sequence[SweepPoint]",
+        progress: SweepProgress | None = None,
+        reducer: Reducer | None = None,
+        retain_results: bool = True,
+    ) -> "list[RunResult] | None":
+        """Execute owned points (cache hits skip simulation).
+
+        With boot snapshots enabled, points execute grouped by template
+        key (stable first-occurrence order) so one boot serves a whole
+        duration/settle slice back to back.  Only the *execution* order
+        changes — retained results are put back in *owned* (grid) order
+        before returning, so output bytes match the ungrouped run
+        exactly.  Progress and reducer callbacks fire in execution
+        order, as they do for cache hits.
+
+        With *retain_results* off, returns ``None`` and holds no
+        reference to any result once the reducer has consumed it.
+        """
         order = list(range(len(owned)))
         if snapshots.snapshots_enabled():
             order = snapshot_execution_order(owned)
@@ -520,18 +634,44 @@ class SweepRunner:
             labels=[point.label for point in executed],
             units=executed,
             progress=progress,
+            reducer=reducer,
+            retain_results=retain_results,
         )
+        if ordered is None:
+            return None
         results: "list[RunResult | None]" = [None] * len(owned)
         for position, index in enumerate(order):
             results[index] = ordered[position]
+        return results
 
-        out = SweepResult(
-            axes={axis.name: list(axis.values) for axis in spec.axes},
-            variant_values={
-                label: dict(values) for label, values, _ in variants
-            },
-            bench_ids=list(dict.fromkeys(p.bench_id for p in points)),
+    # ------------------------------------------------------------------
+    # Stage 3: reduce (wired end-to-end)
+
+    def run(
+        self, spec: SweepSpec, progress: SweepProgress | None = None
+    ) -> SweepResult:
+        """Execute every grid cell into a materialised :class:`SweepResult`."""
+        variants, points, owned = self.plan(spec)
+        reducer = MaterializingReducer(spec, variants, points, owned)
+        self.execute(
+            owned, progress=progress, reducer=reducer, retain_results=False
         )
-        for point, run in zip(owned, results):
-            out.add(point.bench_id, point.variant, run)
-        return out
+        return reducer.finish()
+
+    def run_reduced(
+        self,
+        spec: SweepSpec,
+        reducer: Reducer,
+        progress: SweepProgress | None = None,
+    ):
+        """Execute the grid through *reducer* without materialising.
+
+        The streaming-aggregation path: no :class:`SweepResult`, no
+        per-cell retention — whatever the reducer's ``finish`` returns
+        is the run's entire output.
+        """
+        _variants, _points, owned = self.plan(spec)
+        self.execute(
+            owned, progress=progress, reducer=reducer, retain_results=False
+        )
+        return reducer.finish()

@@ -1,0 +1,240 @@
+"""Mergeable streaming sketches.
+
+The contract under test: a sketch's state is a pure function of the
+*set* of (key, value) observations — independent of arrival order and of
+how the set was partitioned across shards — so merged shards serialise
+byte-identically to a single sketch over everything.  Count/mean/min/max
+are exact at any size; percentiles are exact up to the sample capacity
+and uniform-sample estimates beyond it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.stats import (
+    DEFAULT_SAMPLE_CAPACITY,
+    FLEET_METRICS,
+    MetricSketch,
+    SketchSet,
+    unit_hash,
+)
+from repro.errors import AnalysisError
+
+
+def _sketch_json(sketch: MetricSketch) -> str:
+    return json.dumps(sketch.to_json_dict(), sort_keys=True)
+
+
+def _observations(n: int, seed: int = 5) -> list:
+    rng = random.Random(seed)
+    return [(f"device:{i}", rng.uniform(0.0, 100.0)) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# (a) Exact statistics
+
+
+class TestExactStats:
+    def test_small_population_is_fully_exact(self):
+        sketch = MetricSketch(capacity=64)
+        values = [5.0, 1.0, 9.0, 3.0]
+        for i, v in enumerate(values):
+            sketch.add(f"d{i}", v)
+        assert sketch.count == 4
+        assert sketch.mean() == pytest.approx(4.5)
+        assert sketch.minimum == 1.0
+        assert sketch.maximum == 9.0
+        assert sketch.exact
+        assert sketch.percentile(0) == 1.0
+        assert sketch.percentile(100) == 9.0
+        assert sketch.percentile(50) == pytest.approx(4.0)
+
+    def test_mean_exact_under_float_hostile_ordering(self):
+        # 0.1 summed as floats depends on order; Fraction totals do not.
+        forward = MetricSketch()
+        backward = MetricSketch()
+        obs = [(f"d{i}", 0.1 if i % 2 else 1e15) for i in range(200)]
+        for key, value in obs:
+            forward.add(key, value)
+        for key, value in reversed(obs):
+            backward.add(key, value)
+        assert forward.total == backward.total
+        assert forward.mean() == backward.mean()
+
+    def test_empty_sketch_reads_zero(self):
+        sketch = MetricSketch()
+        assert sketch.count == 0
+        assert sketch.mean() == 0.0
+        assert sketch.percentile(50) == 0.0
+        assert sketch.minimum is None and sketch.maximum is None
+
+    def test_percentile_range_validated(self):
+        sketch = MetricSketch()
+        with pytest.raises(AnalysisError):
+            sketch.percentile(101)
+        with pytest.raises(AnalysisError):
+            sketch.percentile(-1)
+
+    def test_capacity_validated(self):
+        with pytest.raises(AnalysisError):
+            MetricSketch(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# (b) Order independence + mergeability (the shard contract)
+
+
+class TestMergeability:
+    def test_arrival_order_never_changes_the_bytes(self):
+        obs = _observations(300)
+        capacity = 50  # force bottom-k eviction
+        baseline = MetricSketch(capacity)
+        for key, value in obs:
+            baseline.add(key, value)
+        for seed in (1, 2, 3):
+            shuffled = list(obs)
+            random.Random(seed).shuffle(shuffled)
+            other = MetricSketch(capacity)
+            for key, value in shuffled:
+                other.add(key, value)
+            assert _sketch_json(other) == _sketch_json(baseline)
+
+    def test_merged_shards_equal_unsharded(self):
+        obs = _observations(400)
+        capacity = 64
+        whole = MetricSketch(capacity)
+        for key, value in obs:
+            whole.add(key, value)
+        for shards in (2, 3, 5):
+            parts = [MetricSketch(capacity) for _ in range(shards)]
+            for i, (key, value) in enumerate(obs):
+                parts[i % shards].add(key, value)
+            merged = parts[0]
+            for part in parts[1:]:
+                merged.merge(part)
+            assert _sketch_json(merged) == _sketch_json(whole)
+            assert merged.count == len(obs)
+
+    def test_merge_requires_equal_capacity(self):
+        with pytest.raises(AnalysisError):
+            MetricSketch(16).merge(MetricSketch(32))
+
+    def test_bottom_k_sample_is_bounded(self):
+        sketch = MetricSketch(capacity=32)
+        for key, value in _observations(1000):
+            sketch.add(key, value)
+        assert sketch.sample_size == 32
+        assert not sketch.exact
+        assert sketch.count == 1000
+
+    def test_percentiles_estimate_within_rank_tolerance(self):
+        # A uniform[0,100) population: the q-th percentile is ~q.  With
+        # k=256 the rank error concentrates around sqrt(q(1-q)/k) ≈ 3
+        # rank points at the median; assert a loose 5-sigma-ish bound.
+        sketch = MetricSketch(capacity=256)
+        for key, value in _observations(20_000, seed=11):
+            sketch.add(key, value)
+        for q in (10.0, 50.0, 90.0):
+            assert sketch.percentile(q) == pytest.approx(q, abs=15.0)
+
+    def test_unit_hash_is_stable(self):
+        # Pinned: the hash ranks the sample, so a silent change would
+        # re-shuffle every persisted sketch's sample set.
+        assert unit_hash("device:0") == unit_hash("device:0")
+        assert unit_hash("device:0") != unit_hash("device:1")
+        assert 0 <= unit_hash("x") < 2**64
+
+
+# ----------------------------------------------------------------------
+# (c) Serialisation
+
+
+class TestSketchJson:
+    def test_roundtrip_preserves_bytes(self):
+        sketch = MetricSketch(capacity=20)
+        for key, value in _observations(100):
+            sketch.add(key, value)
+        raw = json.loads(_sketch_json(sketch))
+        back = MetricSketch.from_json_dict(raw)
+        assert _sketch_json(back) == _sketch_json(sketch)
+        assert back.mean() == sketch.mean()
+        assert back.percentile(50) == sketch.percentile(50)
+
+    def test_fraction_total_survives_json(self):
+        sketch = MetricSketch()
+        sketch.add("a", 0.1)
+        sketch.add("b", 0.2)
+        back = MetricSketch.from_json_dict(sketch.to_json_dict())
+        assert back.total == sketch.total  # exact rational, not a float
+
+    def test_oversized_sample_rejected(self):
+        sketch = MetricSketch(capacity=4)
+        for key, value in _observations(4):
+            sketch.add(key, value)
+        raw = sketch.to_json_dict()
+        raw["capacity"] = 2
+        with pytest.raises(AnalysisError):
+            MetricSketch.from_json_dict(raw)
+
+
+# ----------------------------------------------------------------------
+# (d) SketchSet
+
+
+class TestSketchSet:
+    def test_observe_fans_out_to_every_metric(self):
+        # Custom metrics let plain floats stand in for RunResults.
+        sketches = SketchSet(
+            {"value": lambda run: float(run), "double": lambda run: 2.0 * run}
+        )
+        sketches.observe("d0", 3.0)
+        sketches.observe("d1", 5.0)
+        assert sketches["value"].mean() == 4.0
+        assert sketches["double"].mean() == 8.0
+        assert sketches.names() == ["value", "double"]
+
+    def test_merge_and_roundtrip(self):
+        def build(keys):
+            out = SketchSet({"value": float}, capacity=8)
+            for key in keys:
+                out.observe(f"d{key}", key * 1.5)
+            return out
+
+        whole = build(range(20))
+        left = build(range(0, 20, 2))
+        right = build(range(1, 20, 2))
+        left.merge(right)
+        assert json.dumps(left.to_json_dict(), sort_keys=True) == json.dumps(
+            whole.to_json_dict(), sort_keys=True
+        )
+        back = SketchSet.from_json_dict(whole.to_json_dict())
+        assert back["value"].mean() == whole["value"].mean()
+
+    def test_deserialised_set_cannot_observe(self):
+        sketches = SketchSet({"value": float})
+        back = SketchSet.from_json_dict(sketches.to_json_dict())
+        with pytest.raises(AnalysisError):
+            back.observe("d0", 1.0)
+
+    def test_merge_requires_same_metrics(self):
+        with pytest.raises(AnalysisError):
+            SketchSet({"a": float}).merge(SketchSet({"b": float}))
+
+    def test_unknown_metric_lookup(self):
+        with pytest.raises(AnalysisError):
+            SketchSet({"a": float})["nope"]
+
+    def test_needs_a_metric(self):
+        with pytest.raises(AnalysisError):
+            SketchSet({})
+
+    def test_default_fleet_metrics_cover_run_fields(self, quick_suite):
+        run = quick_suite.get(quick_suite.ids()[0])
+        sketches = SketchSet(FLEET_METRICS)
+        sketches.observe("device:0", run)
+        assert sketches["total_refs"].mean() == float(run.total_refs)
+        assert sketches["threads"].count == 1

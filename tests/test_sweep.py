@@ -65,6 +65,13 @@ class TestAxes:
             with pytest.raises(ConfigError):
                 parse_axis(bad)
 
+    def test_parse_axis_cal_preset(self):
+        axis = parse_axis("cal.preset=baseline,lowend,highend")
+        assert axis.name == "cal.preset"
+        assert axis.values == ("baseline", "lowend", "highend")
+        with pytest.raises(ConfigError):
+            parse_axis("cal.preset=turbo")  # unknown preset name
+
     def test_axis_validation(self):
         with pytest.raises(ConfigError):
             SweepAxis("jit", ())
@@ -134,6 +141,35 @@ class TestExpansion:
         points = spec.expand()
         assert [p.variant for p in points] == ["base", "base"]
         assert points[0].config == FAST
+
+    def test_cal_preset_axis_applies_device_classes(self):
+        from repro.calibration import CAL_PRESETS
+
+        spec = SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("cal.preset", ("baseline", "lowend", "highend")),),
+            base=FAST,
+        )
+        by_variant = {p.variant: p.config for p in spec.expand()}
+        # baseline canonicalises to None: same cache key as unswept runs.
+        assert by_variant["cal.preset=baseline"].calibration is None
+        assert by_variant["cal.preset=lowend"].calibration == \
+            CAL_PRESETS["lowend"]
+        assert by_variant["cal.preset=highend"].calibration == \
+            CAL_PRESETS["highend"]
+
+    def test_cal_preset_composes_with_field_overrides(self):
+        # Preset first, then a field refinement of it.
+        spec = SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("cal.preset", ("lowend",)),
+                  SweepAxis("cal.sql_step_insts", (9_999,))),
+            base=FAST,
+        )
+        (point,) = spec.expand()
+        assert point.config.calibration.sql_step_insts == 9_999
+        # The rest of the preset bundle survives the refinement.
+        assert point.config.calibration.gc_trigger_bytes == 512 * 1024
 
     def test_duplicate_benches_warn_and_collapse(self):
         spec = SweepSpec(benches=("countdown.main", "countdown.main"),
@@ -407,6 +443,22 @@ class TestSweepAnalysis:
         assert "a.bench" in text
         assert "seed=2" in text
         assert "+50.0" in text and "-50.0" in text
+
+    def test_incomplete_rows_are_counted_not_silent(self):
+        from repro.analysis.render import render_sweep_table
+        from repro.analysis.sweep import axis_table
+
+        partial = _fake_sweep()
+        del partial.runs[("a.bench", "jit=off,seed=2")]
+        table = axis_table(partial, "jit")
+        assert len(table.rows) == 1
+        assert table.dropped == 1
+        text = render_sweep_table(table)
+        assert "1 row dropped" in text and "incomplete grid" in text
+        # A complete grid reports nothing.
+        full = axis_table(_fake_sweep(), "jit")
+        assert full.dropped == 0
+        assert "dropped" not in render_sweep_table(full)
 
 
 # ----------------------------------------------------------------------
