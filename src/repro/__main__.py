@@ -24,6 +24,9 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
         --preset-mix baseline=2,lowend=1 --jobs 4 --snapshots --progress
     python -m repro fleet --devices 1000 --shard 1/2 --out shard1.json
     python -m repro fleet --merge shard1.json shard2.json
+    python -m repro serve .agave-cache --port 8750
+    python -m repro sweep --axis seed=1,2 --cache .local \\
+        --cache-url http://cachehost:8750
 
 Execution flags (``--jobs``, ``--backend``, ``--window``, ``--cache``,
 ``--progress``) apply wherever benchmarks may actually run: ``suite``,
@@ -140,6 +143,11 @@ def _add_exec_flags(
                              "result sizes)")
     parser.add_argument("--cache", metavar="DIR",
                         help="content-addressed result cache directory")
+    parser.add_argument("--cache-url", metavar="URL",
+                        help="result-service URL (see 'repro serve') used "
+                             "as a second cache tier: local miss -> remote "
+                             "GET with local write-through, fresh runs "
+                             "published back with PUT")
     parser.add_argument("--snapshots", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="boot-snapshot fast path: boot each "
@@ -151,13 +159,29 @@ def _add_exec_flags(
                         help="print a line as each benchmark completes")
 
 
+def _make_cache(args: argparse.Namespace):
+    """The cache tier(s) a command runs through.
+
+    ``--cache`` alone is the classic local directory; adding
+    ``--cache-url`` stacks the remote service behind it (and with no
+    local directory at all, lookups go straight to the service).
+    """
+    local = ResultCache(args.cache) if args.cache else None
+    url = getattr(args, "cache_url", None)
+    if not url:
+        return local
+    from repro.service import CacheClient, RemoteCacheBackend
+
+    return RemoteCacheBackend(CacheClient(url), local=local)
+
+
 def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     return SuiteRunner(
         _config(args),
         backend=make_backend(args.backend, jobs=args.jobs,
                              shard=getattr(args, "shard", None),
                              window=args.window),
-        cache=ResultCache(args.cache) if args.cache else None,
+        cache=_make_cache(args),
     )
 
 
@@ -254,7 +278,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         backend=make_backend(args.backend, jobs=args.jobs,
                              shard=getattr(args, "shard", None),
                              window=args.window),
-        cache=ResultCache(args.cache) if args.cache else None,
+        cache=_make_cache(args),
     )
     result = runner.run(
         spec,
@@ -336,7 +360,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     result = run_fleet(
         spec,
         backend=backend,
-        cache=ResultCache(args.cache) if args.cache else None,
+        cache=_make_cache(args),
         progress=progress,
     )
     if args.out:
@@ -345,6 +369,31 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"{result.units_total} units) to {args.out}")
     print(render_fleet_report(result))
     _print_snapshot_stats()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the result service daemon until interrupted."""
+    from repro.service import make_server
+
+    server = make_server(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        hot_bytes=args.hot_bytes,
+        max_age=args.max_age,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"result service: serving {args.dir} on http://{host}:{port}/ "
+          f"(hot tier {args.hot_bytes:,} bytes, max-age {args.max_age}s)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -541,6 +590,32 @@ def make_parser() -> argparse.ArgumentParser:
                               "completed units instead of one line per unit")
     _add_exec_flags(p_fleet, sharding=True)
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a result-cache directory over HTTP (in-memory LRU "
+             "hot tier, conditional GET, write-through PUT publishing)",
+    )
+    p_serve.add_argument("dir", metavar="DIR",
+                         help="backing store directory (the same layout "
+                              "--cache uses; created if missing)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; use "
+                              "0.0.0.0 to serve worker hosts)")
+    p_serve.add_argument("--port", type=int, default=8750,
+                         help="bind port (default 8750; 0 picks a free one)")
+    p_serve.add_argument("--hot-bytes", type=int, default=64 * 1024 * 1024,
+                         metavar="N",
+                         help="in-memory hot-tier byte budget; LRU entries "
+                              "evict to the backing store beyond it")
+    p_serve.add_argument("--max-age", type=int, default=86400,
+                         metavar="SECONDS",
+                         help="Cache-Control max-age sent with entries "
+                              "(content-addressed, so long lifetimes are "
+                              "safe)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

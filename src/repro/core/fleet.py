@@ -473,14 +473,20 @@ class ProgressMeter:
         if self.done % self.every and self.done != self.total:
             return
         now = self._clock()
-        wall = max(now - self._started, 1e-9)
-        rate = self.done / wall
+        wall = now - self._started
         remaining = max(self.total - self.done, 0)
-        eta = remaining / rate if rate > 0 else 0.0
         percent = 100.0 * self.done / self.total if self.total else 100.0
+        if wall <= 0.0:
+            # A fast first batch on a coarse clock: no elapsed time yet,
+            # so there is no meaningful rate — render placeholders
+            # rather than dividing into a zero (or near-zero) wall.
+            rate_eta = "-- units/s, eta --"
+        else:
+            rate = self.done / wall
+            rate_eta = f"{rate:.1f} units/s, eta {remaining / rate:.0f}s"
         self._write(
             f"{self.label}: {self.done}/{self.total} units "
-            f"({percent:.0f}%), {rate:.1f} units/s, eta {eta:.0f}s"
+            f"({percent:.0f}%), {rate_eta}"
         )
 
 

@@ -478,11 +478,22 @@ class ResultCache:
         return result
 
     def put(self, bench_id: str, cfg: "RunConfig", result: RunResult) -> None:
-        """Store one completed run (atomically, for concurrent writers)."""
+        """Store one completed run (atomically, for concurrent writers).
+
+        A failed write unlinks its tmp file before re-raising: the pid
+        in the tmp name is *this* process, so :meth:`sweep_stale_tmp`
+        would rightly refuse to clean it up for as long as we live —
+        the dropping would outlast every sweep until exit.
+        """
         path = self._path(bench_id, cfg)
         tmp = path + f".tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(result.to_json_dict(), fh)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(result.to_json_dict(), fh)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         os.replace(tmp, path)
 
     def __len__(self) -> int:
@@ -507,8 +518,19 @@ class ResultCache:
 
     @staticmethod
     def _discard_corrupt(path: str, why: str) -> None:
-        with contextlib.suppress(OSError):
+        """Unlink one corrupt entry, racing safely with other readers.
+
+        Two readers tripping over the same corrupt entry both race to
+        unlink it; whoever loses sees ``FileNotFoundError`` and stays
+        silent (the winner already warned) — each reader still counts
+        its own miss, and neither ever raises.
+        """
+        try:
             os.unlink(path)
+        except FileNotFoundError:
+            return
+        except OSError:
+            pass
         warnings.warn(
             f"discarded corrupt cache entry {path} ({why})",
             RuntimeWarning,

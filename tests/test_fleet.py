@@ -353,6 +353,34 @@ class TestProgressMeter:
         with pytest.raises(ConfigError):
             ProgressMeter(total=5, every=0)
 
+    def test_zero_elapsed_first_tick_renders_placeholders(self):
+        # A fast first batch on a coarse clock: every tick reads the
+        # same instant, so elapsed is exactly zero.  The meter used to
+        # divide into a near-zero wall (absurd rates, inf-shaped ETAs);
+        # now it renders placeholders until time actually passes.
+        lines: "list[str]" = []
+        meter = ProgressMeter(
+            total=4, every=2, clock=lambda: 5.0, write=lines.append
+        )
+        for _ in range(4):
+            meter(None, 0.0, None)
+        assert len(lines) == 2
+        assert "2/4" in lines[0] and "4/4" in lines[1]
+        for line in lines:
+            assert "-- units/s" in line and "eta --" in line
+            assert "inf" not in line
+
+    def test_rate_resumes_once_clock_advances(self):
+        times = iter([0.0, 0.0, 2.0])  # start, first flush, second flush
+        lines: "list[str]" = []
+        meter = ProgressMeter(
+            total=4, every=2, clock=lambda: next(times), write=lines.append
+        )
+        for _ in range(4):
+            meter(None, 0.0, None)
+        assert "-- units/s" in lines[0]
+        assert "2.0 units/s" in lines[1] and "eta 0s" in lines[1]
+
 
 # ----------------------------------------------------------------------
 # (f) CLI

@@ -1,9 +1,12 @@
 """RunResult / SuiteResult serialisation and determinism."""
 
+import os
+import warnings
+
 import pytest
 
 from repro.core import QUICK_CONFIG, RunConfig, SuiteRunner
-from repro.core.results import RunResult, SuiteResult
+from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.errors import AnalysisError
 from repro.sim.ticks import millis
 
@@ -77,3 +80,85 @@ def test_run_config_from_json_rejects_degenerate_windows():
 def test_quick_config_sane():
     assert QUICK_CONFIG.duration_ticks > 0
     assert QUICK_CONFIG.settle_ticks > 0
+
+
+# ----------------------------------------------------------------------
+# ResultCache write/discard hygiene
+
+
+class ExplodingResult(RunResult):
+    """A result whose serialisation raises mid-:meth:`ResultCache.put`."""
+
+    def to_json_dict(self) -> dict:
+        raise RuntimeError("serialisation boom")
+
+
+def cache_droppings(root) -> "list[str]":
+    return [name for name in os.listdir(root) if ".tmp." in name]
+
+
+def test_put_unlinks_tmp_when_serialisation_raises(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    bad = ExplodingResult(bench_id="x", benchmark_comm="x",
+                          duration_ticks=1, seed=1)
+    with pytest.raises(RuntimeError, match="boom"):
+        cache.put("x", RunConfig(), bad)
+    # The regression: the tmp file used to leak, and because its pid is
+    # this (live) process, sweep_stale_tmp correctly refused to touch it.
+    assert cache_droppings(tmp_path) == []
+    assert cache.sweep_stale_tmp() == 0
+    assert cache.get("x", RunConfig()) is None
+
+
+def test_put_unlinks_tmp_when_json_dump_fails_midwrite(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    # Serialisable attributes, but a payload json.dump chokes on partway
+    # through writing — the torn tmp must still be cleaned up.
+    bad = RunResult(bench_id="x", benchmark_comm="x", duration_ticks=1,
+                    seed=1, meta={"unserialisable": object()})
+    with pytest.raises(TypeError):
+        cache.put("x", RunConfig(), bad)
+    assert cache_droppings(tmp_path) == []
+    assert cache.get("x", RunConfig()) is None
+
+
+def test_corrupt_discard_race_loser_stays_silent(tmp_path, monkeypatch):
+    """Two readers race to discard one corrupt entry; the loser's unlink
+    hits FileNotFoundError and must neither raise nor warn again."""
+    cache = ResultCache(str(tmp_path))
+    cfg = RunConfig()
+    path = cache._path("x", cfg)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{torn")
+
+    real_unlink = os.unlink
+
+    def racing_unlink(target, *args, **kwargs):
+        # The other reader's unlink wins between our read and discard...
+        real_unlink(target, *args, **kwargs)
+        # ...so our own attempt finds nothing.
+        return real_unlink(target, *args, **kwargs)
+
+    monkeypatch.setattr("repro.core.results.os.unlink", racing_unlink)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert cache.get("x", cfg) is None
+    assert cache.misses == 1
+    assert not os.path.exists(path)
+    # The winner warned; the loser (us) stays silent.
+    assert [w for w in caught if "corrupt" in str(w.message)] == []
+
+
+def test_corrupt_discard_still_warns_when_unlink_wins(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cfg = RunConfig()
+    with open(cache._path("x", cfg), "w", encoding="utf-8") as fh:
+        fh.write("{torn")
+    with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+        assert cache.get("x", cfg) is None
+    assert cache.misses == 1
+    # The heal: the next put serves future readers again.
+    good = RunResult(bench_id="x", benchmark_comm="x", duration_ticks=1,
+                     seed=1)
+    cache.put("x", cfg, good)
+    assert cache.get("x", cfg) == good
