@@ -87,9 +87,10 @@ from repro.core import (
     parse_mix,
     prime_snapshot,
     run_fleet,
+    snapshot_gc,
     snapshot_key,
 )
-from repro.core.snapshots import active_store
+from repro.core.snapshots import active_store, aggregate_disk_stats
 from repro.calibration import profile_cpu_count
 from repro.errors import ConfigError, ReproError
 from repro.sim.ticks import millis, seconds
@@ -148,6 +149,11 @@ def _add_exec_flags(
                              "as a second cache tier: local miss -> remote "
                              "GET with local write-through, fresh runs "
                              "published back with PUT")
+    parser.add_argument("--cache-revalidate", action="store_true",
+                        help="with --cache-url: confirm each local cache "
+                             "hit against the service once per run via "
+                             "conditional GET (If-None-Match on the "
+                             "entry's ETag; a 304 costs no body transfer)")
     parser.add_argument("--snapshots", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="boot-snapshot fast path: boot each "
@@ -155,6 +161,13 @@ def _add_exec_flags(
                              "configuration once and restore the warm "
                              "template for its other duration/settle "
                              "variants (results stay byte-identical)")
+    parser.add_argument("--snapshot-dir", metavar="DIR",
+                        help="shared on-disk snapshot template store "
+                             "(implies --snapshots): templates spill to "
+                             "DIR and every worker process — and every "
+                             "later run pointed at DIR — restores them "
+                             "instead of booting, so each boot "
+                             "configuration boots once per host")
     parser.add_argument("--progress", action="store_true",
                         help="print a line as each benchmark completes")
 
@@ -172,7 +185,11 @@ def _make_cache(args: argparse.Namespace):
         return local
     from repro.service import CacheClient, RemoteCacheBackend
 
-    return RemoteCacheBackend(CacheClient(url), local=local)
+    return RemoteCacheBackend(
+        CacheClient(url),
+        local=local,
+        revalidate=getattr(args, "cache_revalidate", False),
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> SuiteRunner:
@@ -218,6 +235,20 @@ def _print_snapshot_stats() -> None:
     print(f"snapshots: {stats.hits} hits, {stats.misses} misses, "
           f"{stats.templates} templates ({stats.blob_bytes:,} bytes, "
           f"{stats.shared_objects} shared objects)", flush=True)
+    if store.root:
+        # Disk tier: the per-session counter files make the accounting
+        # exact across pool workers and cumulative across runs.
+        store.flush_worker_stats()
+        tiers = aggregate_disk_stats(store.root)
+    else:
+        tiers = {f: getattr(stats, f) for f in
+                 ("memory_hits", "disk_hits", "boots", "publishes",
+                  "seed_deltas")}
+    print(f"snapshot tiers: {tiers['memory_hits']} memory hits, "
+          f"{tiers['disk_hits']} disk hits, "
+          f"{tiers['boots']} level-1 boots, "
+          f"{tiers['publishes']} publishes, "
+          f"{tiers['seed_deltas']} seed deltas", flush=True)
 
 
 def _load_or_run(args: argparse.Namespace) -> SuiteResult:
@@ -462,6 +493,31 @@ def cmd_snapshot_stats(args: argparse.Namespace) -> int:
     stats = store.stats()
     print(f"store: {stats.templates} templates, "
           f"{stats.blob_bytes:,} bytes total")
+    print(f"tiers: {stats.memory_hits} memory hits, "
+          f"{stats.disk_hits} disk hits, {stats.boots} level-1 boots, "
+          f"{stats.publishes} publishes, {stats.seed_deltas} seed deltas")
+    return 0
+
+
+def cmd_snapshot_gc(args: argparse.Namespace) -> int:
+    # Mirrors cache gc: a mistyped path must error, not mint an empty
+    # directory and report a successful no-op.
+    if not os.path.isdir(args.dir):
+        raise ConfigError(f"no snapshot directory at {args.dir!r}")
+    if args.max_bytes is None and args.max_age is None \
+            and args.max_entries is None:
+        raise ConfigError(
+            "snapshot gc needs --max-bytes, --max-age and/or --max-entries"
+        )
+    report = snapshot_gc(args.dir, max_bytes=args.max_bytes,
+                         max_age=args.max_age,
+                         max_entries=args.max_entries, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"store:   {os.path.abspath(args.dir)}")
+    print(f"{verb}: {report.removed_entries} templates "
+          f"({report.removed_bytes:,} bytes)")
+    print(f"kept:    {report.kept_entries} templates "
+          f"({report.kept_bytes:,} bytes)")
     return 0
 
 
@@ -656,6 +712,26 @@ def make_parser() -> argparse.ArgumentParser:
                               help="benchmark to build the template for "
                                    "(repeatable; default music.mp3.view)")
     p_snap_stats.set_defaults(func=cmd_snapshot_stats)
+    p_snap_gc = snap_sub.add_parser(
+        "gc", help="evict on-disk boot templates oldest-first to fit "
+                   "size/age bounds"
+    )
+    p_snap_gc.add_argument("dir", metavar="DIR",
+                           help="snapshot directory (as passed to "
+                                "--snapshot-dir)")
+    p_snap_gc.add_argument("--max-bytes", type=int, metavar="N",
+                           help="evict oldest templates until the store "
+                                "fits N bytes")
+    p_snap_gc.add_argument("--max-age", type=float, metavar="SECONDS",
+                           help="evict templates written more than "
+                                "SECONDS ago")
+    p_snap_gc.add_argument("--max-entries", type=int, metavar="N",
+                           help="evict oldest templates until at most N "
+                                "remain")
+    p_snap_gc.add_argument("--dry-run", action="store_true",
+                           help="report what would be evicted without "
+                                "deleting")
+    p_snap_gc.set_defaults(func=cmd_snapshot_gc)
 
     for name, func, extra in (
         ("figures", cmd_figures, True),
@@ -683,7 +759,12 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    if getattr(args, "snapshots", False):
+    snapshot_dir = getattr(args, "snapshot_dir", None)
+    if snapshot_dir:
+        # Disk-backed fast path: templates are shared with every pool
+        # worker (and every later run) through the directory.
+        enable_snapshots(root=snapshot_dir)
+    elif getattr(args, "snapshots", False):
         # Global switch: any command that may simulate (suite, sweep,
         # artifact commands without --results) gets the fast path, and
         # spawned pool workers inherit it via the environment.

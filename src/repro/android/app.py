@@ -306,7 +306,7 @@ def _fork_app(
     def main(task: "Task") -> Iterator[Op]:
         proc = task.process
         ctx = dalvik_context(proc)
-        methods = MethodTable.generate(
+        methods = MethodTable.generate_cached(
             seed=stack.system.seed ^ zlib.crc32(model.package.encode()) & 0xFFFF,
             prefix=model.package,
             count=model.method_count,

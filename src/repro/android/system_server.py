@@ -43,6 +43,19 @@ class SystemServerHandle:
     activities_started: int = field(default=0)
 
 
+def server_method_table(seed: int) -> MethodTable:
+    """system_server's framework method catalog for one boot seed.
+
+    Deterministic in *seed* (including the generator state the table
+    keeps for runtime ``pick_batch`` draws), so the boot-snapshot seed
+    delta can regenerate it instead of serialising it into the
+    seed-independent level-1 template.
+    """
+    return MethodTable.generate_cached(
+        seed=seed ^ 0x5E41, prefix="android.server", count=140, avg_bytecodes=360
+    )
+
+
 class _ServerMain:
     """ActivityManager's home thread loop.
 
@@ -73,9 +86,7 @@ def boot_system_server(
 ) -> SystemServerHandle:
     """Fork and populate system_server."""
     kernel = system.kernel
-    methods = MethodTable.generate(
-        seed=system.seed ^ 0x5E41, prefix="android.server", count=140, avg_bytecodes=360
-    )
+    methods = server_method_table(system.seed)
     main = _ServerMain()
     proc, ctx = zygote.fork_dalvik(
         "system_server",

@@ -62,6 +62,16 @@ class SpecModel:
     #: Native instructions represented by one counted algorithm operation.
     insts_per_op = 6
 
+    #: Calibration results memoised per ``(model class, seed)``.  Every
+    #: ``calibrate`` runs its real algorithm from ``self.seed`` alone
+    #: (none consume ``self.rng``), and :class:`IterationProfile` is
+    #: frozen, so sharing one result across model instances is
+    #: observably identical to recalibrating — and calibration kernels
+    #: range from milliseconds (specrand) to seconds (sjeng), which
+    #: otherwise recur on every point of a seed sweep.
+    _profiles: "dict[tuple, IterationProfile]" = {}
+    _PROFILES_MAX = 512
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.rng = random.Random(seed ^ zlib.crc32(self.name.encode()) & 0xFFFFFF)
@@ -77,7 +87,14 @@ class SpecModel:
     def profile(self) -> IterationProfile:
         """Cached calibration result."""
         if self._profile is None:
-            self._profile = self.calibrate()
+            key = (type(self), self.seed)
+            cached = SpecModel._profiles.get(key)
+            if cached is None:
+                cached = self.calibrate()
+                if len(SpecModel._profiles) >= SpecModel._PROFILES_MAX:
+                    SpecModel._profiles.pop(next(iter(SpecModel._profiles)))
+                SpecModel._profiles[key] = cached
+            self._profile = cached
         return self._profile
 
     # ------------------------------------------------------------------

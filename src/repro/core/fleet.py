@@ -501,8 +501,10 @@ def run_fleet(
     The full fleet is sampled and deduplicated *before* the backend
     plans ownership, so a sharded backend partitions identical unit
     lists everywhere and devices never overlap across shards.  Units
-    execute snapshot-grouped when boot snapshots are on (a fleet's
-    seed pool makes templates heavily shared), stream through
+    execute snapshot-grouped when boot snapshots are on — by the
+    seed-independent level-1 boot key first, then the full template
+    key, so the whole seed pool of one device configuration runs off a
+    single boot instead of one per seed — and stream through
     :func:`~repro.core.runner.execute_with_cache` with retention off,
     and fold into sketches as they complete — per-device results are
     never held.

@@ -158,24 +158,58 @@ def _prepared_system(spec: BenchmarkSpec, cfg: RunConfig):
     duration/settle knobs and runs fresh every time.
 
     With snapshots off this builds from scratch.  With a store enabled,
-    a template hit restores the checkpoint instead of re-simulating
-    boot + install; a miss builds fresh, captures the template, then
-    continues the run on the freshly built graph (so the miss run pays
-    one serialise, never a restore).
+    the lookup walks the tiers: a full level-2 template (memory, then
+    the shared disk directory), then a seed-independent level-1 template
+    with the bench seed folded back in by ``apply_seed_delta`` and the
+    model rebuilt from its factory, and only when both miss does the
+    stack actually boot — under a per-key lock so concurrent workers
+    sharing a disk store boot each level-1 template once per host.  The
+    miss run captures both levels and continues on the freshly built
+    graph (it pays serialises, never a restore).
     """
     store = snapshots.active_store()
-    if store is not None:
-        key = snapshots.snapshot_key(spec.bench_id, cfg)
-        restored = store.restore(key)
-        if restored is not None:
-            return restored
+    if store is None:
+        return _build_fresh(spec, cfg)
+    try:
+        return _prepared_with_store(store, spec, cfg)
+    finally:
+        store.flush_worker_stats()
+
+
+def _build_fresh(spec: BenchmarkSpec, cfg: RunConfig):
     seed = bench_seed(spec.bench_id, cfg)
     system = System(seed=seed, cpus=cfg.cpus, cpu_profile=cfg.cpu_profile)
     stack = boot_android(system, jit_enabled=cfg.jit_enabled)
     model = spec.factory(seed)
     if spec.is_android:
         model.setup_files(system)
-    if store is not None:
+    return system, stack, model
+
+
+def _prepared_with_store(
+    store: "snapshots.SnapshotStore", spec: BenchmarkSpec, cfg: RunConfig
+):
+    key = snapshots.snapshot_key(spec.bench_id, cfg)
+    restored = store.restore(key)
+    if restored is not None:
+        return restored
+    seed = bench_seed(spec.bench_id, cfg)
+    l1_key = snapshots.level1_key(cfg)
+    derived = store.derive(key, l1_key, seed, spec.bench_id)
+    if derived is not None:
+        return derived
+    with store.boot_lock(l1_key):
+        # Another worker may have published the level-1 template while
+        # this one waited on the lock; re-check before paying the boot.
+        derived = store.derive(key, l1_key, seed, spec.bench_id)
+        if derived is not None:
+            return derived
+        system = System(seed=seed, cpus=cfg.cpus, cpu_profile=cfg.cpu_profile)
+        stack = boot_android(system, jit_enabled=cfg.jit_enabled)
+        store.capture_level1(l1_key, system, stack)
+        model = spec.factory(seed)
+        if spec.is_android:
+            model.setup_files(system)
         store.capture(key, (system, stack, model))
     return system, stack, model
 

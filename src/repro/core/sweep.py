@@ -477,20 +477,29 @@ class SweepResult:
 
 
 def snapshot_execution_order(points: "Sequence[SweepPoint]") -> list[int]:
-    """Indices of *points* grouped by boot-snapshot key.
+    """Indices of *points* grouped by boot-snapshot key, two levels deep.
 
-    Grouping is stable: keys appear in first-occurrence order and points
-    within a group keep their relative grid order, so the reordering is
-    deterministic.  Running a group's points back to back means each
-    boot template is built once and then serves its whole slice while
-    still warm — the sweep-level analogue of zygote forking every app of
-    a session from one warm image.
+    Points sharing a seed-independent level-1 key (one boot) run
+    adjacently, and within that slice points sharing a full level-2 key
+    (one seed's template) run back to back.  Grouping is stable: keys
+    appear in first-occurrence order and points within a group keep
+    their relative grid order, so the reordering is deterministic.
+    Running a level-1 group's points consecutively means the stack boots
+    once and then serves every seed and duration variant of that
+    configuration while still warm — the sweep-level analogue of zygote
+    forking every app of a session from one warm image.
     """
-    groups: dict[str, list[int]] = {}
+    groups: dict[str, dict[str, list[int]]] = {}
     for index, point in enumerate(points):
-        key = snapshots.snapshot_key(point.bench_id, point.config)
-        groups.setdefault(key, []).append(index)
-    return [index for indices in groups.values() for index in indices]
+        l1 = snapshots.level1_key(point.config)
+        l2 = snapshots.snapshot_key(point.bench_id, point.config)
+        groups.setdefault(l1, {}).setdefault(l2, []).append(index)
+    return [
+        index
+        for by_level2 in groups.values()
+        for indices in by_level2.values()
+        for index in indices
+    ]
 
 
 #: Sweep progress callback: ``(point, elapsed_seconds, result)`` with

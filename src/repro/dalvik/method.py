@@ -80,6 +80,11 @@ def make_method(
 class MethodTable:
     """A seeded population of methods for one application."""
 
+    #: Memoised populations for :meth:`generate_cached`, keyed by the
+    #: full argument tuple: ``(methods, post-generation rng state)``.
+    _generated: "dict[tuple, tuple[tuple[JavaMethod, ...], tuple]]" = {}
+    _GENERATED_MAX = 256
+
     def __init__(self, methods: list[JavaMethod], rng: random.Random) -> None:
         if not methods:
             raise ValueError("method table cannot be empty")
@@ -107,6 +112,40 @@ class MethodTable:
                 alloc = rng.choice((32, 64, 96, 128, 256, 512, 1_024, 2_048))
             methods.append(make_method(f"{prefix}.m{i:03d}", size, alloc))
         return cls(methods, rng)
+
+    @classmethod
+    def generate_cached(
+        cls,
+        seed: int,
+        prefix: str,
+        count: int = 60,
+        avg_bytecodes: int = 320,
+        alloc_fraction: float = 0.5,
+    ) -> "MethodTable":
+        """:meth:`generate`, memoised on the full argument tuple.
+
+        Tables are regenerated on every boot-snapshot seed delta and on
+        every app launch, so the draw loop shows up hot in seed sweeps.
+        The population is observably a pure function of the arguments:
+        the :class:`JavaMethod` instances are frozen (safe to share
+        between tables) and the returned table's generator state equals
+        the state :meth:`generate` leaves behind, so runtime
+        ``pick``/``pick_batch`` draws continue identically.  Only the
+        per-table mutable parts (the methods list and the generator)
+        are rebuilt per call.
+        """
+        key = (seed, prefix, count, avg_bytecodes, alloc_fraction)
+        parts = cls._generated.get(key)
+        if parts is None:
+            table = cls.generate(seed, prefix, count, avg_bytecodes, alloc_fraction)
+            if len(cls._generated) >= cls._GENERATED_MAX:
+                cls._generated.pop(next(iter(cls._generated)))
+            cls._generated[key] = (tuple(table.methods), table._rng.getstate())
+            return table
+        methods, state = parts
+        rng = random.Random()
+        rng.setstate(state)
+        return cls(list(methods), rng)
 
     def pick(self) -> JavaMethod:
         """Draw one method following the popularity distribution."""

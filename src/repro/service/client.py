@@ -9,10 +9,20 @@ contract :func:`~repro.core.runner.execute_with_cache` consumes
 suite/sweep/fleet runners without touching orchestration code:
 
 - lookup: local hit short-circuits (content-addressed keys cannot go
-  stale, so local entries never need revalidation); a local miss tries
+  stale, so local entries never *need* revalidation); a local miss tries
   the remote ``GET`` and writes a hit through to the local tier;
 - compute: fresh results go to the local tier and are published to the
   service with ``PUT``, so every other worker's next miss becomes a hit.
+
+With ``revalidate=True`` a local hit is additionally checked against the
+service once per key per session — but conditionally: the entry's
+canonical body bytes are the same bytes the service stores (both sides
+serialise with ``json.dumps`` defaults), so its ETag is derivable
+locally as the server's quoted sha256 and rides as ``If-None-Match``.
+A ``304`` confirms the write-through for free (no body transfer,
+counted in ``CacheClient.revalidated``); a ``200`` means the server
+holds a different body, which is adopted and written through; a ``404``
+means the server lost the entry, which is healed with a re-publish.
 
 An unreachable service degrades, never fails: one warning, then the
 remote tier is skipped for the rest of the process and the run proceeds
@@ -22,6 +32,7 @@ on local cache + simulation alone.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import warnings
 from typing import TYPE_CHECKING
@@ -49,6 +60,9 @@ class CacheClient:
             )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Conditional GETs answered 304: revalidations served without
+        #: a body transfer.
+        self.revalidated = 0
 
     def _url(self, key: str) -> str:
         return f"{self.base_url}/result/{key}"
@@ -75,6 +89,8 @@ class CacheClient:
         except HTTPError as exc:
             with contextlib.closing(exc):
                 if exc.code in (304, 404):
+                    if exc.code == 304:
+                        self.revalidated += 1
                     return exc.code, None, exc.headers.get("ETag")
                 raise
 
@@ -104,13 +120,20 @@ class RemoteCacheBackend:
     """
 
     def __init__(
-        self, client: CacheClient, local: "ResultCache | None" = None
+        self,
+        client: CacheClient,
+        local: "ResultCache | None" = None,
+        revalidate: bool = False,
     ) -> None:
         self.client = client
         self.local = local
+        self.revalidate = revalidate
         self.remote_hits = 0
         self.remote_misses = 0
         self._down = False
+        #: Keys whose local entry was confirmed against (or reconciled
+        #: with) the service this session; each is revalidated once.
+        self._validated: set[str] = set()
 
     # ------------------------------------------------------------------
     # The cache contract execute_with_cache consumes
@@ -119,6 +142,8 @@ class RemoteCacheBackend:
         if self.local is not None:
             hit = self.local.get(bench_id, cfg)
             if hit is not None:
+                if self.revalidate:
+                    return self._revalidated(bench_id, cfg, hit)
                 return hit
         body = self._remote_get(ResultCache.key(bench_id, cfg))
         if body is None:
@@ -146,6 +171,54 @@ class RemoteCacheBackend:
             self.local.put(bench_id, cfg, result)
         body = json.dumps(result.to_json_dict()).encode("utf-8")
         self._remote_put(ResultCache.key(bench_id, cfg), body)
+
+    def _revalidated(
+        self, bench_id: str, cfg: "RunConfig", hit: RunResult
+    ) -> RunResult:
+        """Check one local hit against the service, conditionally.
+
+        The ETag is computed from the local entry's canonical bytes —
+        the server's ETag scheme is the quoted sha256 of the stored
+        body, and publish/write-through keep both sides' bytes equal —
+        so a matching entry costs a 304, not a body transfer.  Any
+        outcome (including a down service) still serves a result; each
+        key is revalidated at most once per session.
+        """
+        key = ResultCache.key(bench_id, cfg)
+        if self._down or key in self._validated:
+            return hit
+        body = json.dumps(hit.to_json_dict()).encode("utf-8")
+        etag = '"' + hashlib.sha256(body).hexdigest() + '"'
+        try:
+            status, remote_body, _etag = self.client.get_entry(key, etag=etag)
+        except OSError as exc:
+            self._mark_down(exc)
+            return hit
+        self._validated.add(key)
+        if status == 404:
+            # The service lost (or never had) the entry: heal it.
+            self._remote_put(key, body)
+            return hit
+        if status == 200 and remote_body is not None:
+            # The server holds a different body.  Adopt it: the service
+            # is the shared source of truth, and the next reader of the
+            # local tier should agree with it.
+            try:
+                result = RunResult.from_json_dict(
+                    json.loads(remote_body.decode("utf-8"))
+                )
+            except (ValueError, KeyError, TypeError, AttributeError):
+                warnings.warn(
+                    f"ignoring corrupt remote entry while revalidating "
+                    f"{bench_id}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return hit
+            if self.local is not None:
+                self.local.put(bench_id, cfg, result)
+            return result
+        return hit
 
     def flush_stats(self) -> None:
         if self.local is not None:

@@ -592,3 +592,92 @@ class TestSnapshotMatrix:
         assert out == ref
         assert len(store) == 2                   # one template per benchmark
         assert store.misses == 2 and store.hits == 4
+
+
+# ----------------------------------------------------------------------
+# (g) Shared-disk-store matrix: a REPRO_SNAPSHOTS directory shared by
+# every worker process must stay invisible in the bytes while cutting
+# boots to one per level-1 template per host — not workers x templates.
+
+
+from repro.core.snapshots import aggregate_disk_stats  # noqa: E402
+
+#: A boot-heavy seed-axis grid: every cell is a distinct level-2 key,
+#: but all four share one seed-independent level-1 boot.
+SEED_SWEEP_SPEC = SweepSpec(
+    benches=("999.specrand",),
+    axes=(SweepAxis("seed", (1, 2, 3, 4)),),
+    base=FAST,
+)
+
+
+class TestSnapshotDiskMatrix:
+    @pytest.fixture(autouse=True)
+    def _snapshots_off(self):
+        disable_snapshots()
+        yield
+        disable_snapshots()
+
+    def _prepopulate(self, root: str) -> None:
+        """Fill the disk store from a separate (serial) session, as a
+        prior run on the same host would have."""
+        enable_snapshots(root=root)
+        SuiteRunner(FAST, backend=SerialBackend()).run_suite(SUITE_IDS)
+        disable_snapshots()
+
+    @pytest.mark.parametrize("warmth", ("cold", "prepopulated"))
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_suite_byte_identical_through_disk_store(
+        self, name, warmth, snapshot_refs, tmp_path
+    ):
+        """Every backend, against a cold and a pre-populated shared
+        directory, reproduces the snapshot-less reference bytes."""
+        root = str(tmp_path / "snapstore")
+        if warmth == "prepopulated":
+            self._prepopulate(root)
+        enable_snapshots(root=root)
+        suite = SuiteRunner(FAST, backend=_make(name)).run_suite(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            snapshot_refs["cpus1"]
+        # The whole suite shares one boot-relevant config, hence one
+        # level-1 template: exactly one boot ever happens against this
+        # directory — by whichever process got there first — and a
+        # pre-populated store adds zero more.
+        assert aggregate_disk_stats(root)["boots"] == 1
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_seed_sweep_boots_once_not_per_worker(self, name, tmp_path):
+        """The seed axis defeats level-2 sharing (each seed is its own
+        template) but not the disk store's level-1 tier: a multi-worker
+        sweep still boots exactly once per host, and twice the workers
+        do not mean twice the boots."""
+        disable_snapshots()
+        ref = _sweep_bytes(
+            SweepRunner(backend=SerialBackend()).run(SEED_SWEEP_SPEC),
+            tmp_path / "ref.json",
+        )
+        root = str(tmp_path / "snapstore")
+        enable_snapshots(root=root)
+        out = _sweep_bytes(
+            SweepRunner(backend=_make(name)).run(SEED_SWEEP_SPEC),
+            tmp_path / "out.json",
+        )
+        assert out == ref
+        stats = aggregate_disk_stats(root)
+        assert stats["boots"] == 1               # == level-1 templates
+        assert stats["seed_deltas"] >= len(SEED_SWEEP_SPEC.axes[0].values) - 1
+
+    def test_second_session_restores_from_disk(
+        self, snapshot_refs, tmp_path
+    ):
+        """A later process (fresh store, same directory) serves every
+        template from disk: zero boots, nonzero disk hits, same bytes."""
+        root = str(tmp_path / "snapstore")
+        self._prepopulate(root)
+        store = enable_snapshots(root=root)
+        suite = SuiteRunner(FAST, backend=SerialBackend()).run_suite(SUITE_IDS)
+        assert store.boots == 0
+        assert store.disk_hits >= 1
+        assert aggregate_disk_stats(root)["boots"] == 1
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            snapshot_refs["cpus1"]

@@ -311,3 +311,175 @@ def test_restored_runs_reproduce_engine_golden_shas():
         )
         assert hashlib.sha256(payload.encode()).hexdigest() == want, bench_id
     assert store.hits == len(golden)
+
+
+# ----------------------------------------------------------------------
+# (g) Two-level keys: the seed-independent level-1 template and the
+# seed delta that folds bench_seed back in at restore time
+
+
+class TestTwoLevelKeys:
+    def test_level1_key_ignores_seed_and_bench(self):
+        """One level-1 template serves every seed and every benchmark of
+        a boot configuration — that is the whole point of the tier."""
+        base = snapshots.level1_key(FAST)
+        for variant in (
+            RunConfig(duration_ticks=FAST.duration_ticks,
+                      settle_ticks=FAST.settle_ticks, seed=99),
+            FAST.scaled(4.0),
+            RunConfig(duration_ticks=millis(999), settle_ticks=0),
+        ):
+            assert snapshots.level1_key(variant) == base
+        # snapshot_key folds the bench into the seed; level1_key must not
+        # depend on the bench at all (it takes no bench argument).
+        assert snapshot_key(AGAVE, FAST) != snapshot_key(SPEC, FAST)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            RunConfig(jit_enabled=False),
+            RunConfig(cpus=4),
+            RunConfig(cpus=2, cpu_profile="1+1"),
+            RunConfig(calibration=Calibration()),
+        ],
+    )
+    def test_level1_boot_knobs_are_included(self, variant):
+        assert snapshots.level1_key(variant) != snapshots.level1_key(FAST)
+
+    def test_seed_delta_reproduces_fresh_boot_bytes(self):
+        """A run derived from another seed's boot (level-1 restore +
+        apply_seed_delta + model rebuild) must be byte-identical to a
+        fresh boot at the derived seed — the normalisation audit in one
+        assertion."""
+        cfg_a = RunConfig(duration_ticks=FAST.duration_ticks,
+                          settle_ticks=FAST.settle_ticks, seed=1)
+        cfg_b = RunConfig(duration_ticks=FAST.duration_ticks,
+                          settle_ticks=FAST.settle_ticks, seed=2)
+        fresh_b = _result_bytes(AGAVE, cfg_b)
+        store = snapshots.enable_snapshots()
+        assert _result_bytes(AGAVE, cfg_a) is not None  # boots, captures L1
+        assert store.boots == 1
+        derived = _result_bytes(AGAVE, cfg_b)            # same L1, new seed
+        assert store.boots == 1                          # no second boot
+        assert store.seed_deltas == 1
+        assert derived == fresh_b
+
+    def test_level1_blob_is_canonical_across_boot_seeds(self):
+        """capture_level1 normalises the seed-dependent state out, so
+        whichever seed happens to boot first publishes the same bytes."""
+        key = snapshots.level1_key(FAST)
+        blobs = []
+        for seed in (1, 2):
+            cfg = RunConfig(duration_ticks=FAST.duration_ticks,
+                            settle_ticks=FAST.settle_ticks, seed=seed)
+            store = snapshots.enable_snapshots(store=SnapshotStore())
+            prime_snapshot(SPEC, cfg)
+            blobs.append(store._level1[key].blob)
+            snapshots.disable_snapshots()
+        assert blobs[0] == blobs[1]
+
+    def test_capture_level1_leaves_live_graph_intact(self):
+        """Normalisation is a scoped swap: after capture the booted
+        system keeps its real seed state and the run proceeds on it."""
+        store = snapshots.enable_snapshots()
+        fresh = _result_bytes(AGAVE, FAST)   # the capturing run itself
+        snapshots.disable_snapshots()
+        assert fresh == _result_bytes(AGAVE, FAST)
+        assert store.boots == 1
+
+
+# ----------------------------------------------------------------------
+# (h) Disk tier: torn/corrupt blobs are discarded, gc obeys its bounds
+
+
+import os
+
+
+class TestDiskTier:
+    def _populate(self, root: str) -> None:
+        snapshots.enable_snapshots(root=root)
+        execute_one(AGAVE, FAST)
+        snapshots.disable_snapshots()
+
+    def test_corrupt_blob_is_discarded_and_warned(self, tmp_path):
+        """Garbage in a published blob must not poison later sessions:
+        the sha check fails, both files are unlinked with a warning, and
+        the run still produces the fresh-boot bytes."""
+        ref = _result_bytes(AGAVE, FAST)
+        root = str(tmp_path / "store")
+        self._populate(root)
+        blobs = [n for n in os.listdir(root) if n.endswith(".blob")]
+        assert blobs
+        for name in blobs:
+            (tmp_path / "store" / name).write_bytes(b"not a snapshot")
+        store = snapshots.enable_snapshots(root=root)
+        with pytest.warns(RuntimeWarning, match="corrupt snapshot"):
+            got = _result_bytes(AGAVE, FAST)
+        assert got == ref
+        assert store.boots == 1          # self-healed with a fresh boot
+
+    def test_corrupt_sidecar_is_discarded(self, tmp_path):
+        ref = _result_bytes(AGAVE, FAST)
+        root = str(tmp_path / "store")
+        self._populate(root)
+        for name in os.listdir(root):
+            if name.endswith(".table"):
+                (tmp_path / "store" / name).write_bytes(b"\x80truncated")
+        snapshots.enable_snapshots(root=root)
+        with pytest.warns(RuntimeWarning, match="corrupt snapshot"):
+            got = _result_bytes(AGAVE, FAST)
+        assert got == ref
+        # The poisoned pairs were unlinked (and fresh ones republished).
+        assert all(
+            not (tmp_path / "store" / n).read_bytes().startswith(b"\x80trunc")
+            for n in os.listdir(root) if n.endswith(".table")
+        )
+
+    def test_lone_blob_without_sidecar_is_a_discarded_miss(self, tmp_path):
+        root = str(tmp_path / "store")
+        self._populate(root)
+        for name in os.listdir(root):
+            if name.endswith(".table"):
+                os.unlink(os.path.join(root, name))
+        store = snapshots.enable_snapshots(root=root)
+        with pytest.warns(RuntimeWarning, match="corrupt snapshot"):
+            assert _result_bytes(AGAVE, FAST) is not None
+        assert store.boots == 1
+
+    def test_gc_age_entries_bytes_and_dry_run(self, tmp_path):
+        root = str(tmp_path / "store")
+        snapshots.enable_snapshots(root=root)
+        for seed in (1, 2, 3):
+            cfg = RunConfig(duration_ticks=FAST.duration_ticks,
+                            settle_ticks=FAST.settle_ticks, seed=seed)
+            execute_one(SPEC, cfg)
+        snapshots.disable_snapshots()
+        # 1 level-1 blob + 1 published level-2 blob (derived seeds record
+        # in-memory recipes, not disk blobs).
+        entries = [n for n in os.listdir(root) if n.endswith(".blob")]
+        assert len(entries) == 2
+        dry = snapshots.snapshot_gc(root, max_entries=1, dry_run=True)
+        assert dry.removed_entries == 1 and dry.kept_entries == 1
+        assert len([n for n in os.listdir(root) if n.endswith(".blob")]) == 2
+        report = snapshots.snapshot_gc(root, max_entries=1)
+        assert report.removed_entries == 1 and report.kept_entries == 1
+        assert len([n for n in os.listdir(root) if n.endswith(".blob")]) == 1
+        survivor_bytes = report.kept_bytes
+        assert snapshots.snapshot_gc(
+            root, max_bytes=survivor_bytes
+        ).removed_entries == 0
+        assert snapshots.snapshot_gc(root, max_age=0.0).removed_entries == 1
+        assert [n for n in os.listdir(root) if n.endswith(".blob")] == []
+
+    def test_gc_sweeps_stale_tmp_and_lock_files(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        dead = 4_000_000  # beyond linux pid_max: definitely not alive
+        (tmp_path / "store" / f"x.blob.tmp.{dead}").write_bytes(b"junk")
+        (tmp_path / "store" / "y.lock").write_text(str(dead))
+        (tmp_path / "store" / "z.lock").write_text(str(os.getpid()))
+        snapshots.snapshot_gc(root, max_entries=10)
+        names = set(os.listdir(root))
+        assert f"x.blob.tmp.{dead}" not in names
+        assert "y.lock" not in names
+        assert "z.lock" in names        # live holder: left alone
