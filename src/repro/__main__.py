@@ -19,6 +19,9 @@ Usage (installed as ``agave-repro`` or ``python -m repro``)::
     python -m repro cache gc .agave-cache --max-entries 100 --lru
     python -m repro sweep --axis duration=0.5,1,2 --snapshots
     python -m repro sweep --axis cal.preset=baseline,lowend,highend
+    python -m repro --faults chaos run vlc.mp4.view
+    python -m repro sweep --axis faults=none,binder-flaky,sf-kill
+    python -m repro faults --bench vlc.mp4.view --plan sf-kill
     python -m repro snapshot stats --bench music.mp3.view
     python -m repro fleet --devices 1000 --profile-mix none=3,2+2=1 \\
         --preset-mix baseline=2,lowend=1 --jobs 4 --snapshots --progress
@@ -50,6 +53,9 @@ from typing import Callable
 
 from repro.analysis import (
     evaluate_claims,
+    evaluate_fault_claims,
+    fault_report,
+    render_fault_report,
     table1,
 )
 from repro.analysis.figures import build_figure
@@ -92,7 +98,8 @@ from repro.core import (
 )
 from repro.core.snapshots import active_store, aggregate_disk_stats
 from repro.calibration import profile_cpu_count
-from repro.errors import ConfigError, ReproError
+from repro.errors import AnalysisError, ConfigError, ReproError
+from repro.faults import fault_plan, plan_names
 from repro.sim.ticks import millis, seconds
 
 
@@ -117,6 +124,7 @@ def _config(args: argparse.Namespace) -> RunConfig:
         jit_enabled=not args.no_jit,
         cpus=cpus if cpus is not None else 1,
         cpu_profile=profile,
+        faults=fault_plan(args.faults) if args.faults else None,
     )
 
 
@@ -328,6 +336,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Absorbed-vs-amplified fault report over a ``faults`` sweep.
+
+    With ``--results`` the report reads a saved sweep (which must have
+    swept a ``faults`` axis); otherwise it runs a small faults sweep —
+    the fault-free baseline plus each requested plan — over the given
+    benchmarks and reports on that.
+    """
+    if args.results:
+        result = SweepResult.load(args.results)
+    else:
+        plans = args.plan or ["binder-flaky", "sf-kill"]
+        for plan in plans:
+            fault_plan(plan)  # reject typos before simulating
+        axes = (parse_axis("faults=none," + ",".join(plans)),)
+        ids = args.bench or ["vlc.mp4.view"]
+        spec = SweepSpec(benches=tuple(ids), axes=axes, base=_config(args))
+        runner = SweepRunner(
+            backend=make_backend(args.backend, jobs=args.jobs,
+                                 window=args.window),
+            cache=_make_cache(args),
+        )
+        result = runner.run(
+            spec,
+            progress=_progress_printer(args, label=lambda p: p.label,
+                                       width=40),
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"saved {len(result.runs)} sweep cells to {args.out}")
+    print(render_fault_report(fault_report(result)))
+    try:
+        claims = evaluate_fault_claims(result)
+    except AnalysisError:
+        # Neither headline plan was swept: the report stands on its own
+        # and there is nothing to assert.
+        _print_snapshot_stats()
+        return 0
+    print(render_claims(claims))
+    _print_snapshot_stats()
+    return 0 if all(c.holds for c in claims) else 1
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     if args.merge:
         # Merge mode: no simulation — fold saved shard results together.
@@ -374,6 +425,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         ),
         base=_config(args),
         capacity=args.capacity,
+        fault_mix=(
+            parse_mix(args.fault_mix, none_aware)
+            if args.fault_mix
+            else ((None, 1.0),)
+        ),
     )
     # A fleet is the streaming path par excellence: default to the async
     # backend whenever parallelism is requested, so sketches fold in
@@ -578,6 +634,12 @@ def make_parser() -> argparse.ArgumentParser:
                              "B full-speed big cores then L half-speed "
                              "LITTLE cores, scheduled by the CFS vruntime "
                              "policy (default: symmetric cores, round-robin)")
+    parser.add_argument("--faults", metavar="PLAN",
+                        help="deterministic fault plan injected inside the "
+                             "measurement window: "
+                             + ", ".join(plan_names())
+                             + " (default: no faults; the fault-free "
+                             "config keeps its exact cache keys)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the 25 benchmarks").set_defaults(
@@ -601,7 +663,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
                          help="sweep axis: jit=on,off | seed=1,2,3 | "
                               "duration=0.5,1.0 | cal.preset=baseline,lowend "
-                              "| cal.<field>=A,B "
+                              "| cal.<field>=A,B | faults=none,binder-flaky "
                               "(repeatable; order fixes the grid)")
     p_sweep.add_argument("--bench", action="append", metavar="ID",
                          help="sweep only this benchmark (repeatable; "
@@ -613,6 +675,24 @@ def make_parser() -> argparse.ArgumentParser:
                               + ", or per-core cpuN_refs/cpuN_share/cpuN_busy")
     _add_exec_flags(p_sweep, sharding=True)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="absorbed-vs-amplified fault report over a faults sweep",
+    )
+    p_faults.add_argument("--results", help="load a saved sweep JSON (must "
+                                            "sweep a faults axis) instead "
+                                            "of re-running")
+    p_faults.add_argument("--plan", action="append", metavar="NAME",
+                          help="fault plan to inject (repeatable; default "
+                               "binder-flaky and sf-kill): "
+                               + ", ".join(plan_names()))
+    p_faults.add_argument("--bench", action="append", metavar="ID",
+                          help="benchmark to fault (repeatable; default "
+                               "vlc.mp4.view)")
+    p_faults.add_argument("--out", help="save the sweep results JSON here")
+    _add_exec_flags(p_faults)
+    p_faults.set_defaults(func=cmd_faults)
 
     p_fleet = sub.add_parser(
         "fleet",
@@ -634,6 +714,11 @@ def make_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--scale-mix", metavar="F=W,F=W",
                          help="weighted calibration scale-factor mix, "
                               "e.g. 1=3,1.2=1 (per-device unit variation)")
+    p_fleet.add_argument("--fault-mix", metavar="PLAN=W,PLAN=W",
+                         help="weighted fault-plan mix, e.g. "
+                              "none=9,binder-flaky=1 (none = fault-free; "
+                              "an all-none mix samples the exact fleet a "
+                              "pre-fault spec did)")
     p_fleet.add_argument("--capacity", type=int, default=1024, metavar="K",
                          help="bottom-k percentile sample bound per metric "
                               "(percentiles are exact up to K devices)")

@@ -12,6 +12,12 @@ from repro.analysis.claims import (
     evaluate_sweep_claims,
     failed_claims,
 )
+from repro.analysis.faults import (
+    FaultRow,
+    evaluate_fault_claims,
+    fault_report,
+    render_fault_report,
+)
 from repro.analysis.figures import (
     build_figure,
     figure1,
@@ -43,6 +49,7 @@ from repro.analysis.tables import Table1, ThreadRow, canonical_thread_name, tabl
 __all__ = [
     "Claim",
     "DEFAULT_PERCENTILES",
+    "FaultRow",
     "METRICS",
     "SmpRow",
     "StackedBreakdown",
@@ -56,8 +63,10 @@ __all__ = [
     "canonical_thread_name",
     "cpu_breakdown",
     "evaluate_claims",
+    "evaluate_fault_claims",
     "evaluate_sweep_claims",
     "failed_claims",
+    "fault_report",
     "figure1",
     "figure2",
     "figure3",
@@ -65,6 +74,7 @@ __all__ = [
     "render_breakdown_csv",
     "render_breakdown_table",
     "render_claims",
+    "render_fault_report",
     "render_fleet_report",
     "render_smp_table",
     "render_stacked_ascii",

@@ -40,7 +40,7 @@ def render_fleet_report(
         )
 
     out.write("\nSampled population\n")
-    for table in ("bench", "profile", "preset", "scale"):
+    for table in ("bench", "profile", "preset", "scale", "fault"):
         counts = result.population.get(table, {})
         if not counts:
             continue

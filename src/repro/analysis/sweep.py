@@ -36,6 +36,10 @@ METRICS: "dict[str, Callable[[RunResult], float]]" = {
     # big.LITTLE axis: percent of references retired on big cores
     # (100 on a symmetric machine); pair with a cpu_profile=... axis.
     "big_refs_share": lambda run: 100.0 * run.big_refs_share(),
+    # Fault axes: composited frames in the window (the fault-amplification
+    # observable) and total fault events fired; pair with faults=... .
+    "sf_frames": lambda run: float(run.meta.get("sf_frames", 0)),
+    "faults_total": lambda run: float(sum(run.fault_counters.values())),
 }
 
 #: Per-core metric pattern: ``cpu<N>_refs`` (references retired on core

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import BinderError
+from repro.faults.runtime import active_injector
 from repro.kernel.syscalls import kernel_exec
 from repro.libs import regions
 from repro.libs.registry import framework_veneer, mapped_object
@@ -86,6 +87,24 @@ class BinderHost:
                 raise BinderError(
                     f"{proc.comm}: no handler for service {txn.service!r}"
                 )
+            injector = active_injector()
+            if injector is not None:
+                outcome = injector.binder_outcome(txn)
+                if outcome == "drop":
+                    # Fire-and-forget code: the driver rejects it and the
+                    # stack absorbs the loss — no handler, empty reply.
+                    yield kernel_exec("binder_txn_fail", 900, 110)
+                    txn.completed = True
+                    self.transactions_served += 1
+                    if not txn.oneway and txn.reply_q is not None:
+                        txn.reply_q.wake_all()
+                    continue
+                if outcome == "retry":
+                    # The sender is blocked on reply values: a failed
+                    # delivery costs a fail + resubmit detour, then the
+                    # transaction goes through normally.
+                    yield kernel_exec("binder_txn_fail", 900, 110)
+                    yield kernel_exec("binder_txn_retry", 700, 90)
             # Driver-side delivery + server-side unmarshal.
             yield kernel_exec("binder_txn_deliver", 1_100, 140)
             libbinder = mapped_object(proc, "libbinder.so")

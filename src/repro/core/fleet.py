@@ -44,6 +44,7 @@ from repro.core.stats import (
 from repro.core.suite import AGAVE_IDS, get_benchmark
 from repro.core.sweep import snapshot_execution_order
 from repro.errors import AnalysisError, ConfigError
+from repro.faults.plan import fault_plan
 
 if TYPE_CHECKING:
     from repro.core.backends import ExecutionBackend
@@ -114,6 +115,8 @@ class DeviceProfile:
     preset: str
     profile: "str | None"
     scale: float
+    #: Fault-plan name the device drew (None = fault-free).
+    fault: "str | None" = None
 
     @property
     def key(self) -> str:
@@ -169,6 +172,10 @@ class FleetSpec:
     base: RunConfig = field(default_factory=RunConfig)
     #: Bottom-k sample bound of every metric sketch.
     capacity: int = DEFAULT_SAMPLE_CAPACITY
+    #: Fault-plan mix (names from FAULT_PLANS; ``None`` = fault-free).
+    #: The all-None default draws nothing from the RNG stream, so every
+    #: pre-existing spec samples the exact same fleet it always did.
+    fault_mix: tuple = ((None, 1.0),)
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -183,6 +190,7 @@ class FleetSpec:
             ("profile", self.profile_mix),
             ("preset", self.preset_mix),
             ("scale", self.scale_mix),
+            ("fault", self.fault_mix),
         ):
             _check_mix(name, mix)
         if self.bench_mix:
@@ -199,6 +207,9 @@ class FleetSpec:
                 raise ConfigError(
                     f"fleet scale mix values must be positive, got {scale!r}"
                 )
+        for plan, _ in self.fault_mix:
+            if plan is not None:
+                fault_plan(plan)  # validates the name
 
     # ------------------------------------------------------------------
 
@@ -217,6 +228,9 @@ class FleetSpec:
         rng = random.Random(self.seed)
         bench_mix = self.effective_bench_mix()
         seeds = self.effective_seed_choices()
+        # An all-None fault mix skips its draw entirely, so specs that
+        # predate the fault axis replay their historical RNG stream.
+        faults_active = any(plan is not None for plan, _ in self.fault_mix)
         fleet: "list[DeviceProfile]" = []
         for device_id in range(self.devices):
             bench_id = _pick(rng, bench_mix)
@@ -224,7 +238,10 @@ class FleetSpec:
             preset = _pick(rng, self.preset_mix)
             scale = float(_pick(rng, self.scale_mix))
             dev_seed = seeds[rng.randrange(len(seeds))]
+            fault = _pick(rng, self.fault_mix) if faults_active else None
             cfg = replace(self.base, seed=dev_seed)
+            if fault is not None:
+                cfg = replace(cfg, faults=fault_plan(fault))
             if profile is not None:
                 cfg = replace(
                     cfg,
@@ -247,6 +264,7 @@ class FleetSpec:
                     preset=preset,
                     profile=profile,
                     scale=scale,
+                    fault=fault,
                 )
             )
         return fleet
@@ -283,6 +301,11 @@ class FleetSpec:
             "preset": {},
             "scale": {},
         }
+        # The fault table appears only when the axis is in play, so
+        # fault-free fleet reports keep their historical byte shape.
+        faults_active = any(plan is not None for plan, _ in self.fault_mix)
+        if faults_active:
+            tables["fault"] = {}
         for device in fleet:
             for table, value in (
                 ("bench", device.bench_id),
@@ -292,6 +315,10 @@ class FleetSpec:
             ):
                 counts = tables[table]
                 counts[value] = counts.get(value, 0) + 1
+            if faults_active:
+                counts = tables["fault"]
+                value = device.fault or "none"
+                counts[value] = counts.get(value, 0) + 1
         return tables
 
     # ------------------------------------------------------------------
@@ -300,7 +327,7 @@ class FleetSpec:
         """The spec's canonical JSON (the digest input — includes the
         metric names and sketch capacity, so two results only merge when
         their sketches mean the same thing)."""
-        return {
+        out = {
             "devices": self.devices,
             "seed": self.seed,
             "bench_mix": [[b, w] for b, w in self.bench_mix],
@@ -312,6 +339,11 @@ class FleetSpec:
             "metrics": list(FLEET_METRICS),
             "capacity": self.capacity,
         }
+        # Conditional, like RunConfig's "faults" key: specs that never
+        # touch the fault axis keep their pre-change digests.
+        if self.fault_mix != ((None, 1.0),):
+            out["fault_mix"] = [[p, w] for p, w in self.fault_mix]
+        return out
 
     def digest(self) -> str:
         """Content hash guarding shard merges."""

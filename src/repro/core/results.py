@@ -82,6 +82,9 @@ class RunResult:
     any_busy_ticks: int = 0
     #: big.LITTLE profile the run executed under (None = symmetric).
     cpu_profile: str | None = None
+    #: Fault-injection counters, populated only when the run executed
+    #: under a fault plan (empty dict = fault-free, serialised away).
+    fault_counters: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -102,6 +105,7 @@ class RunResult:
         busy_ticks_by_cpu: dict[int, int] | None = None,
         any_busy_ticks: int = 0,
         cpu_profile: str | None = None,
+        fault_counters: dict | None = None,
     ) -> "RunResult":
         """Snapshot the profiler into a result."""
         return cls(
@@ -125,6 +129,7 @@ class RunResult:
             busy_ticks_by_cpu=dict(busy_ticks_by_cpu or {}),
             any_busy_ticks=any_busy_ticks,
             cpu_profile=cpu_profile,
+            fault_counters=dict(fault_counters or {}),
         )
 
     # ------------------------------------------------------------------
@@ -296,6 +301,8 @@ class RunResult:
             out["any_busy_ticks"] = self.any_busy_ticks
         if self.cpu_profile is not None:
             out["cpu_profile"] = self.cpu_profile
+        if self.fault_counters:
+            out["faults"] = self.fault_counters
         return out
 
     @classmethod
@@ -322,6 +329,7 @@ class RunResult:
             busy_ticks_by_cpu=_decode_cpus(raw.get("busy_ticks_by_cpu", {})),
             any_busy_ticks=raw.get("any_busy_ticks", 0),
             cpu_profile=raw.get("cpu_profile"),
+            fault_counters=dict(raw.get("faults", {})),
         )
 
 

@@ -31,6 +31,9 @@ from repro.core.results import ResultCache, RunResult, SuiteResult
 from repro.core.spec import BenchmarkSpec
 from repro.core.suite import benchmarks, get_benchmark
 from repro.errors import ConfigError
+from repro.faults import runtime as fault_runtime
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.kernel.layout import truncate_comm
 from repro.sim.system import System
 from repro.sim.ticks import millis, seconds
@@ -63,6 +66,10 @@ class RunConfig:
     #: speeds and the CFS vruntime scheduler.  ``None`` keeps the
     #: symmetric round-robin reproducibility path.
     cpu_profile: str | None = None
+    #: Deterministic fault-injection plan (the dependability knob).
+    #: ``None`` — the default — injects nothing and is omitted from the
+    #: JSON form, so healthy configs keep their pre-fault cache keys.
+    faults: FaultPlan | None = None
 
     def scaled(self, factor: float) -> "RunConfig":
         """A config with the window scaled by *factor*.
@@ -89,6 +96,8 @@ class RunConfig:
             del raw["cpus"]
         if self.cpu_profile is None:
             del raw["cpu_profile"]
+        if self.faults is None:
+            del raw["faults"]
         return raw
 
     @classmethod
@@ -101,7 +110,24 @@ class RunConfig:
         """
         raw = dict(raw)
         cal = raw.pop("calibration", None)
-        cfg = cls(calibration=Calibration(**cal) if cal else None, **raw)
+        faults = raw.pop("faults", None)
+        try:
+            cfg = cls(
+                calibration=Calibration(**cal) if cal else None,
+                faults=FaultPlan.from_json_dict(faults) if faults else None,
+                **raw,
+            )
+        except TypeError:
+            # cls(**raw) raises a bare TypeError on keys no field matches;
+            # name the offenders instead of leaking the constructor error.
+            unknown = sorted(
+                set(raw) - {f.name for f in cls.__dataclass_fields__.values()}
+            )
+            if unknown:
+                raise ConfigError(
+                    f"unknown config key(s) in JSON: {', '.join(unknown)}"
+                ) from None
+            raise
         if cfg.duration_ticks < 1:
             raise ConfigError(
                 f"duration_ticks must be >= 1, got {cfg.duration_ticks}"
@@ -234,33 +260,43 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
     seed = bench_seed(spec.bench_id, cfg)
     system, stack, model = _prepared_system(spec, cfg)
 
-    if spec.is_android:
-        system.run_for(cfg.settle_ticks)
-        system.profiler.reset()
-        window = _open_window(system)
-        record = start_activity(stack, model, background=spec.background)
-        system.run_for(cfg.duration_ticks)
-        comm = model.benchmark_comm
-        meta = {
-            "package": model.package,
-            "mode": "background" if spec.background else "foreground",
-            "launched": record.proc is not None,
-            "frames_drawn": record.app.frames_drawn if record.app else 0,
-            "sf_frames": stack.sf.frames_composited,
-            "gc_cycles": record.app.ctx.gc_cycles if record.app else 0,
-            "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
-        }
-    else:
-        system.run_for(cfg.settle_ticks)
-        system.profiler.reset()
-        window = _open_window(system)
-        proc = model.launch(system)
-        system.run_for(cfg.duration_ticks)
-        comm = truncate_comm(model.name)
-        meta = {
-            "profile_insts": model.profile.insts,
-            "pid": proc.pid,
-        }
+    # Settle and the pre-settle checkpoint stay fault-free: the injector
+    # arms at the window edge, so boot-snapshot templates are shared
+    # across plans and faults only perturb the measured interval.
+    system.run_for(cfg.settle_ticks)
+    system.profiler.reset()
+    window = _open_window(system)
+    injector = None
+    if cfg.faults is not None:
+        injector = FaultInjector(cfg.faults, seed, system, stack)
+        injector.arm(system.clock.now)
+        fault_runtime.activate(injector)
+    try:
+        if spec.is_android:
+            record = start_activity(stack, model, background=spec.background)
+            system.run_for(cfg.duration_ticks)
+            comm = model.benchmark_comm
+            meta = {
+                "package": model.package,
+                "mode": "background" if spec.background else "foreground",
+                "launched": record.proc is not None,
+                "frames_drawn": record.app.frames_drawn if record.app else 0,
+                "sf_frames": stack.sf.frames_composited,
+                "gc_cycles": record.app.ctx.gc_cycles if record.app else 0,
+                "jit_compiled": len(record.app.ctx.compiled) if record.app else 0,
+            }
+        else:
+            proc = model.launch(system)
+            system.run_for(cfg.duration_ticks)
+            comm = truncate_comm(model.name)
+            meta = {
+                "profile_insts": model.profile.insts,
+                "pid": proc.pid,
+            }
+    finally:
+        if injector is not None:
+            fault_runtime.deactivate()
+            injector.disarm()
 
     reaped_at_open, busy_at_open, any_busy_at_open = window
     # "Threads spawned": every thread alive at window close plus the
@@ -294,6 +330,7 @@ def _run_spec(spec: BenchmarkSpec, cfg: RunConfig) -> RunResult:
         live_processes=system.kernel.process_count(),
         threads_spawned_total=threads_observed,
         meta=meta,
+        fault_counters=injector.counters() if injector is not None else {},
         **smp,
     )
 

@@ -119,6 +119,11 @@ _LOCK_SUFFIX = ".lock"
 _STATS_NAME = re.compile(r"_stats\.\d+\.[0-9a-f]{8}\.json$")
 _TMP_NAME = re.compile(r"\.tmp\.(\d+)$")
 
+#: Merged counters of dead store sessions (see :func:`_fold_dead_stats`).
+#: The name deliberately fails ``_STATS_NAME`` so the base file is never
+#: itself treated as a session file.
+_STATS_BASE = "_stats.base.json"
+
 #: Integer counters mirrored into the per-store stats file.
 _COUNTER_FIELDS = (
     "hits", "misses", "memory_hits", "disk_hits",
@@ -683,7 +688,7 @@ def aggregate_disk_stats(root: str) -> "dict[str, int]":
     except OSError:
         return totals
     for name in names:
-        if not _STATS_NAME.match(name):
+        if name != _STATS_BASE and not _STATS_NAME.match(name):
             continue
         try:
             with open(os.path.join(root, name), encoding="utf-8") as fh:
@@ -695,6 +700,69 @@ def aggregate_disk_stats(root: str) -> "dict[str, int]":
             if isinstance(value, int):
                 totals[field] += value
     return totals
+
+
+def _fold_dead_stats(root: str) -> int:
+    """Merge dead writers' session counter files into the base file.
+
+    Every store session writes its own ``_stats.<pid>.<nonce>.json`` and
+    never deletes it, so a long-lived shared directory accumulates one
+    file per run forever.  This folds the counters of files whose writer
+    pid is gone (the same live-pid test ``ResultCache.sweep_stale_tmp``
+    uses) into the cumulative ``_stats.base.json`` and unlinks them;
+    live sessions' files are left alone, so
+    :func:`aggregate_disk_stats` — which sums the base file plus the
+    session files — reads the same totals before and after a fold.
+    Returns the number of session files folded.
+    """
+    dead: "list[str]" = []
+    for name in os.listdir(root):
+        if not _STATS_NAME.match(name):
+            continue
+        if not _pid_alive(int(name.split(".")[1])):
+            dead.append(name)
+    if not dead:
+        return 0
+    totals = dict.fromkeys(_COUNTER_FIELDS, 0)
+    base_path = os.path.join(root, _STATS_BASE)
+    with contextlib.suppress(OSError, ValueError):
+        with open(base_path, encoding="utf-8") as fh:
+            counters = json.load(fh)
+        for field in _COUNTER_FIELDS:
+            value = counters.get(field)
+            if isinstance(value, int):
+                totals[field] += value
+    folded: "list[str]" = []
+    for name in sorted(dead):
+        try:
+            with open(os.path.join(root, name), encoding="utf-8") as fh:
+                counters = json.load(fh)
+        except (OSError, ValueError):
+            # Unreadable droppings of a dead writer carry no counts to
+            # preserve; unlink them rather than re-visiting every pass.
+            with contextlib.suppress(OSError):
+                os.unlink(os.path.join(root, name))
+            continue
+        for field in _COUNTER_FIELDS:
+            value = counters.get(field)
+            if isinstance(value, int):
+                totals[field] += value
+        folded.append(name)
+    if not folded:
+        return 0
+    tmp = base_path + f".tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(totals, fh, sort_keys=True)
+        os.replace(tmp, base_path)
+    except OSError:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        return 0
+    for name in folded:
+        with contextlib.suppress(OSError):
+            os.unlink(os.path.join(root, name))
+    return len(folded)
 
 
 def _disk_entries(root: str) -> "Iterator[tuple[str, list[str], float, int]]":
@@ -735,10 +803,16 @@ def snapshot_gc(
     each evicting from the least recently written end.  One template
     (blob + sidecar) is one entry.  Stale ``.tmp.<pid>`` spill files
     and ``.lock`` files whose holder died are swept as a side effect
-    (uncounted: they were never live entries).
+    (uncounted: they were never live entries), and dead sessions'
+    ``_stats.<pid>.<nonce>.json`` counter files fold into the merged
+    ``_stats.base.json`` so the directory stops accumulating one file
+    per run forever (totals are preserved; live writers' files are
+    untouched; skipped under *dry_run*).
     """
     if now is None:
         now = time.time()
+    if not dry_run:
+        _fold_dead_stats(root)
     for name in os.listdir(root):
         path = os.path.join(root, name)
         match = _TMP_NAME.search(name)

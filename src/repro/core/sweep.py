@@ -36,6 +36,7 @@ from repro.core.results import ResultCache, RunResult
 from repro.core.runner import Reducer, RunConfig, dedup_ids, execute_with_cache
 from repro.core.suite import get_benchmark
 from repro.errors import AnalysisError, ConfigError
+from repro.faults.plan import fault_plan
 
 if TYPE_CHECKING:
     from repro.core.backends import ExecutionBackend
@@ -47,6 +48,7 @@ AXIS_DURATION = "duration"
 AXIS_CPUS = "cpus"
 AXIS_CPU_PROFILE = "cpu_profile"
 AXIS_CAL_PRESET = "cal.preset"
+AXIS_FAULTS = "faults"
 CAL_PREFIX = "cal."
 
 _CAL_FIELDS = {f.name for f in fields(Calibration)}
@@ -95,6 +97,9 @@ class SweepAxis:
       cache entries with unswept runs.
     - ``cal.<field>`` — numeric overrides of one
       :class:`~repro.calibration.Calibration` field.
+    - ``faults`` — named fault plans from
+      :data:`~repro.faults.plan.FAULT_PLANS`, or ``None`` (CLI spelling
+      ``none``) for the fault-free baseline cell.
     """
 
     name: str
@@ -136,6 +141,15 @@ class SweepAxis:
                         "cal.preset axis values must be preset names"
                     )
                 calibration_preset(v)  # validates the name
+        elif self.name == AXIS_FAULTS:
+            for v in self.values:
+                if v is None:
+                    continue
+                if not isinstance(v, str):
+                    raise ConfigError(
+                        "faults axis values must be plan names or None"
+                    )
+                fault_plan(v)  # validates the name
         elif self.name.startswith(CAL_PREFIX):
             cal_field = self.name[len(CAL_PREFIX):]
             if cal_field not in _CAL_FIELDS:
@@ -150,7 +164,7 @@ class SweepAxis:
             raise ConfigError(
                 f"unknown axis {self.name!r}; known: {AXIS_SEED}, {AXIS_JIT}, "
                 f"{AXIS_DURATION}, {AXIS_CPUS}, {AXIS_CPU_PROFILE}, "
-                f"{AXIS_CAL_PRESET}, {CAL_PREFIX}<field>"
+                f"{AXIS_CAL_PRESET}, {AXIS_FAULTS}, {CAL_PREFIX}<field>"
             )
 
     def apply(self, cfg: RunConfig, value: object) -> RunConfig:
@@ -179,6 +193,12 @@ class SweepAxis:
             # machine whatever the base config said.
             return replace(cfg, cpu_profile=value,
                            cpus=profile_cpu_count(value))
+        if self.name == AXIS_FAULTS:
+            # ``none`` IS the default: the baseline cell keeps the exact
+            # cache key (and bytes) an unswept run of the config has.
+            return replace(
+                cfg, faults=None if value is None else fault_plan(value)
+            )
         if self.name == AXIS_CAL_PRESET:
             cal = calibration_preset(value)
             # ``baseline`` IS the default: canonicalise to None so the
@@ -198,8 +218,8 @@ def parse_axis(text: str) -> SweepAxis:
 
     ``jit`` accepts ``on/off/true/false``; ``seed`` and ``cpus`` parse
     integers; ``duration`` and ``cal.*`` parse numbers (int kept when
-    exact); ``cpu_profile`` keeps its values as strings, with ``none``
-    naming the symmetric default.
+    exact); ``cpu_profile`` and ``faults`` keep their values as strings,
+    with ``none`` naming the symmetric / fault-free default.
     """
     name, sep, values_text = text.partition("=")
     if not sep or not name or not values_text:
@@ -212,7 +232,7 @@ def parse_axis(text: str) -> SweepAxis:
         raise ConfigError(f"axis spec {text!r} has no values")
     parsed: list = []
     for raw in raw_values:
-        if name == AXIS_CPU_PROFILE:
+        if name in (AXIS_CPU_PROFILE, AXIS_FAULTS):
             parsed.append(None if raw.lower() == "none" else raw)
         elif name == AXIS_CAL_PRESET:
             parsed.append(raw)

@@ -1,0 +1,39 @@
+"""Fault injection: deterministic, cache-keyed fault plans.
+
+See :mod:`repro.faults.plan` for the plan vocabulary and the
+``FAULT_PLANS`` registry, :mod:`repro.faults.injector` for execution,
+and :mod:`repro.faults.runtime` for the ambient-injector global the
+engine and binder consult.
+"""
+
+from repro.faults.injector import (
+    COUNTER_KEYS,
+    DROP_SAFE_CODES,
+    FaultInjector,
+    channel_rng,
+)
+from repro.faults.plan import (
+    FAULT_PLANS,
+    FaultPlan,
+    ThreadKill,
+    ThrottleWindow,
+    fault_plan,
+    plan_names,
+)
+from repro.faults.runtime import activate, active_injector, deactivate
+
+__all__ = [
+    "COUNTER_KEYS",
+    "DROP_SAFE_CODES",
+    "FAULT_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "ThreadKill",
+    "ThrottleWindow",
+    "activate",
+    "active_injector",
+    "channel_rng",
+    "deactivate",
+    "fault_plan",
+    "plan_names",
+]

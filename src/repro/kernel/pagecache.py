@@ -58,6 +58,18 @@ class Filesystem:
             f = self.create(name, 1024 * 1024)
         return f
 
+    def evict_all(self) -> int:
+        """Drop every cached page (a fault-plan eviction storm).
+
+        Returns the number of bytes evicted; subsequent reads fault back
+        through the storage queue as if the pages were never resident.
+        """
+        evicted = 0
+        for f in self.files.values():
+            evicted += f.cached_bytes
+            f.cached_bytes = 0
+        return evicted
+
     # ------------------------------------------------------------------
 
     def read(

@@ -34,6 +34,7 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import os
 import warnings
 from typing import TYPE_CHECKING
 from urllib.error import HTTPError
@@ -47,6 +48,12 @@ if TYPE_CHECKING:
 
 #: Per-request timeout: a hung service must degrade like a down one.
 DEFAULT_TIMEOUT = 10.0
+
+#: Environment handshake deduplicating the unreachable-service warning
+#: across a process pool (the ``REPRO_SNAPSHOTS`` pattern): the first
+#: process to find a URL down exports it here, and every worker spawned
+#: afterwards inherits the flag and skips its own copy of the warning.
+ENV_WARNED = "REPRO_CACHE_DOWN_WARNED"
 
 
 class CacheClient:
@@ -246,8 +253,19 @@ class RemoteCacheBackend:
 
     def _mark_down(self, exc: Exception) -> None:
         """Warn once, then stop trying: computing locally is always a
-        correct fallback, and one warning per run beats one per unit."""
+        correct fallback, and one warning per run beats one per unit.
+
+        "Once" means once per *run*, not once per process: ``--jobs N``
+        spawns N pool workers that each rebuild this backend, and N
+        copies of the same warning bury the signal.  The first process
+        to find the URL down exports it via :data:`ENV_WARNED`; workers
+        spawned after that inherit the flag and go quiet (they still
+        mark the tier down for themselves).
+        """
         self._down = True
+        if os.environ.get(ENV_WARNED) == self.client.base_url:
+            return
+        os.environ[ENV_WARNED] = self.client.base_url
         warnings.warn(
             f"result service at {self.client.base_url} is unreachable "
             f"({exc}); continuing without the remote tier",

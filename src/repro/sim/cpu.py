@@ -68,6 +68,20 @@ class AtomicCPU:
         self.busy_ticks += ticks
         return ticks
 
+    def throttle(self, factor: int) -> int:
+        """Slow this core by *factor* (a fault-plan thermal cap).
+
+        Returns the previous ticks-per-instruction so the caller can
+        :meth:`unthrottle` back to it; stacking is the caller's problem.
+        """
+        prev = self.ticks_per_inst
+        self.ticks_per_inst = prev * factor
+        return prev
+
+    def unthrottle(self, saved: int) -> None:
+        """Restore the speed :meth:`throttle` saved."""
+        self.ticks_per_inst = saved
+
     def __repr__(self) -> str:
         return (
             f"AtomicCPU(id={self.cpu_id}, insts={self.insts_retired}, "

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulerError
+from repro.faults.runtime import active_injector
 from repro.kernel.task import TaskState
 from repro.sim.ops import Block, ExecBlock, Sleep, SleepUntil, Yield
 
@@ -108,6 +109,10 @@ class Engine:
         kernel = self.system.kernel
         slots = self._slots
         smp = len(slots) > 1
+        # Fault injection: an armed injector exposes the tick of its
+        # earliest pending event; no plan means one None comparison.
+        injector = active_injector()
+        fault_due = injector.next_due if injector is not None else None
         # Budget stays integer-only in the hot loop: None means unbounded
         # (the old float("inf") mixed float comparisons into every pass).
         budget = max_ops
@@ -142,6 +147,9 @@ class Engine:
                     next_balance = now + sched.balance_period
             if timer_heap and timer_heap[0][0] <= now:
                 timers.fire_due(now)
+            if fault_due is not None and now >= fault_due:
+                injector.fire_due(now, slots)
+                fault_due = injector.next_due
 
             task = best.task
             if task is not None and (

@@ -681,3 +681,116 @@ class TestSnapshotDiskMatrix:
         assert aggregate_disk_stats(root)["boots"] == 1
         assert _suite_bytes(suite, tmp_path / "out.json") == \
             snapshot_refs["cpus1"]
+
+
+# ----------------------------------------------------------------------
+# (h) Fault matrix: an armed fault plan is part of the purity contract.
+# Faults draw from RNG streams derived from the bench seed, so a run is
+# still a pure function of (bench_id, RunConfig) — the same plan must
+# serialise byte-identically through every backend, cache state, shard
+# merge, and the snapshot restore path.
+
+
+from repro.faults import fault_plan  # noqa: E402
+
+#: The whole kitchen sink: binder failures, a kill/restart, an eviction
+#: storm and a throttle window, all in one measurement window.
+FAST_FAULTED = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200),
+                         faults=fault_plan("chaos"))
+
+FAULT_SWEEP_SPEC = SweepSpec(
+    benches=("countdown.main", "999.specrand"),
+    axes=(SweepAxis("faults", (None, "chaos")),),
+    base=FAST,
+)
+
+
+def _warm_faulted_cache(tmp_path, warmth: str) -> str | None:
+    if warmth == "cold":
+        return None
+    root = str(tmp_path / "cache")
+    SuiteRunner(FAST_FAULTED, cache=ResultCache(root)).run_suite(SUITE_IDS)
+    return root
+
+
+@pytest.fixture(scope="module")
+def serial_faulted_suite_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's chaos-plan SuiteResult."""
+    suite = SuiteRunner(
+        FAST_FAULTED, backend=SerialBackend()
+    ).run_suite(SUITE_IDS)
+    return _suite_bytes(suite, tmp_path_factory.mktemp("ref") / "fault.json")
+
+
+@pytest.fixture(scope="module")
+def serial_fault_sweep_bytes(tmp_path_factory) -> bytes:
+    """The reference: the serial backend's faults-axis SweepResult."""
+    sweep = SweepRunner(backend=SerialBackend()).run(FAULT_SWEEP_SPEC)
+    return _sweep_bytes(sweep, tmp_path_factory.mktemp("ref") / "fsweep.json")
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("warmth", ("cold", "prewarmed"))
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_faulted_suite_byte_identical(
+        self, name, warmth, serial_faulted_suite_bytes, tmp_path
+    ):
+        cache_dir = _warm_faulted_cache(tmp_path, warmth)
+        backend = _make(name)
+        suite = SuiteRunner(
+            FAST_FAULTED,
+            backend=backend,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        ).run_suite(SUITE_IDS)
+        assert _suite_bytes(suite, tmp_path / "out.json") == \
+            serial_faulted_suite_bytes
+        if warmth == "prewarmed":
+            assert backend.executed == []    # the plan rides the cache key
+
+    @pytest.mark.parametrize("inner", ("serial", "async"))
+    def test_fault_sweep_sharded_merge_byte_identical(
+        self, inner, serial_fault_sweep_bytes, tmp_path
+    ):
+        shards = [
+            SweepRunner(
+                backend=ShardedBackend(k, 2, inner=_make(inner))
+            ).run(FAULT_SWEEP_SPEC)
+            for k in (1, 2)
+        ]
+        merged = shards[0]
+        merged.merge(shards[1])
+        assert _sweep_bytes(merged, tmp_path / "out.json") == \
+            serial_fault_sweep_bytes
+
+    def test_faulted_suite_through_snapshot_restore(
+        self, serial_faulted_suite_bytes, tmp_path
+    ):
+        """Faults fire inside the measurement window, after the settle
+        checkpoint, so a restored boot template replays them exactly:
+        the all-restores second session reproduces the reference bytes."""
+        disable_snapshots()
+        try:
+            store = enable_snapshots()
+            SuiteRunner(
+                FAST_FAULTED, backend=SerialBackend()
+            ).run_suite(SUITE_IDS)
+            assert store.misses == len(SUITE_IDS) and store.hits == 0
+            suite = SuiteRunner(
+                FAST_FAULTED, backend=SerialBackend()
+            ).run_suite(SUITE_IDS)
+            assert store.hits == len(SUITE_IDS)
+            assert _suite_bytes(suite, tmp_path / "out.json") == \
+                serial_faulted_suite_bytes
+        finally:
+            disable_snapshots()
+
+    def test_fault_cells_really_differ(self):
+        """The matrix is not vacuous: a chaos cell diverges from its
+        baseline and reports the faults it actually fired."""
+        sweep = SweepRunner(backend=SerialBackend()).run(FAULT_SWEEP_SPEC)
+        for bench_id in FAULT_SWEEP_SPEC.benches:
+            base = sweep.get(bench_id, "faults=none")
+            chaos = sweep.get(bench_id, "faults=chaos")
+            assert base.fault_counters == {}
+            assert sum(chaos.fault_counters.values()) > 0
+            assert str(base.to_json_dict()) != str(chaos.to_json_dict())

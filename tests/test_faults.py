@@ -1,0 +1,323 @@
+"""Fault injection: plans, injector determinism, the sweep/fleet axes,
+and the absorbed-vs-amplified analysis.
+
+The load-bearing contracts:
+
+- a :class:`FaultPlan` is part of the config's identity (cache-keyed,
+  JSON-round-trippable) and *absent* plans leave every pre-existing
+  config byte-identical;
+- every probabilistic draw derives from ``bench_seed``, so a faulted run
+  is still a pure function of ``(bench_id, RunConfig)``;
+- the analysis layer can tell faults the stack absorbs from faults it
+  amplifies.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    evaluate_fault_claims,
+    fault_report,
+    render_fault_report,
+)
+from repro.core import (
+    FleetSpec,
+    ResultCache,
+    RunConfig,
+    SerialBackend,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.core.runner import execute_one
+from repro.core.sweep import parse_axis
+from repro.errors import AnalysisError, ConfigError
+from repro.faults import (
+    COUNTER_KEYS,
+    FAULT_PLANS,
+    FaultPlan,
+    ThreadKill,
+    ThrottleWindow,
+    channel_rng,
+    fault_plan,
+    plan_names,
+)
+from repro.sim.ticks import millis
+
+FAST = RunConfig(duration_ticks=millis(400), settle_ticks=millis(200))
+
+
+def _faulted(plan: str) -> RunConfig:
+    return RunConfig(
+        duration_ticks=millis(400),
+        settle_ticks=millis(200),
+        faults=fault_plan(plan),
+    )
+
+
+def _bytes(result) -> bytes:
+    return json.dumps(result.to_json_dict(), sort_keys=True).encode()
+
+
+# ----------------------------------------------------------------------
+# Plans: registry, validation, serialisation
+
+
+class TestPlans:
+    def test_registry_names_and_lookup(self):
+        assert plan_names() == list(FAULT_PLANS)
+        for name in plan_names():
+            assert fault_plan(name).name == name
+
+    def test_unknown_plan_name_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="warp-core"):
+            fault_plan("warp-core")
+
+    @pytest.mark.parametrize("name", sorted(FAULT_PLANS))
+    def test_every_registered_plan_round_trips_through_json(self, name):
+        plan = fault_plan(name)
+        wire = json.loads(json.dumps(plan.to_json_dict()))
+        assert FaultPlan.from_json_dict(wire) == plan
+
+    def test_empty_plan_is_rejected(self):
+        with pytest.raises(ConfigError, match="at least one fault"):
+            FaultPlan(name="noop")
+
+    def test_field_validation(self):
+        with pytest.raises(ConfigError, match="binder_fail_rate"):
+            FaultPlan(binder_fail_rate=1.5)
+        with pytest.raises(ConfigError, match="at_ms"):
+            ThreadKill(at_ms=-1, proc="p", thread="t")
+        with pytest.raises(ConfigError, match="restart_ms"):
+            ThreadKill(at_ms=0, proc="p", thread="t", restart_ms=-5)
+        with pytest.raises(ConfigError, match="duration_ms"):
+            ThrottleWindow(at_ms=0, duration_ms=0)
+        with pytest.raises(ConfigError, match="factor"):
+            ThrottleWindow(at_ms=0, duration_ms=10, factor=1)
+        with pytest.raises(ConfigError, match="evict_at_ms"):
+            FaultPlan(evict_at_ms=(-10,))
+
+    def test_unknown_json_key_is_named_in_the_error(self):
+        wire = fault_plan("binder-flaky").to_json_dict()
+        wire["blast_radius"] = 9000
+        with pytest.raises(ConfigError, match="blast_radius"):
+            FaultPlan.from_json_dict(wire)
+
+
+# ----------------------------------------------------------------------
+# Config identity: absent plans change nothing, present plans key runs
+
+
+class TestConfigIdentity:
+    def test_faultless_config_json_has_no_faults_key(self):
+        assert "faults" not in RunConfig().to_json_dict()
+        assert "faults" not in FAST.to_json_dict()
+
+    def test_config_with_plan_round_trips(self):
+        cfg = _faulted("chaos")
+        wire = json.loads(json.dumps(cfg.to_json_dict()))
+        assert RunConfig.from_json_dict(wire) == cfg
+
+    def test_plan_changes_the_cache_key(self):
+        base = ResultCache.key("countdown.main", FAST)
+        assert ResultCache.key("countdown.main", _faulted("chaos")) != base
+        assert ResultCache.key(
+            "countdown.main", _faulted("sf-kill")
+        ) != ResultCache.key("countdown.main", _faulted("sf-restart"))
+
+
+# ----------------------------------------------------------------------
+# Injector determinism and per-plan effects
+
+
+class TestInjection:
+    def test_channel_rng_is_a_pure_function_of_seed_and_channel(self):
+        a = [channel_rng(7, "binder").random() for _ in range(5)]
+        b = [channel_rng(7, "binder").random() for _ in range(5)]
+        c = [channel_rng(7, "evict").random() for _ in range(5)]
+        d = [channel_rng(8, "binder").random() for _ in range(5)]
+        assert a == b
+        assert a != c and a != d
+
+    @pytest.mark.parametrize("plan", ("binder-flaky", "sf-restart", "chaos"))
+    def test_faulted_runs_are_deterministic(self, plan):
+        cfg = _faulted(plan)
+        assert _bytes(execute_one("vlc.mp4.view", cfg)) == \
+            _bytes(execute_one("vlc.mp4.view", cfg))
+
+    def test_counters_report_the_full_vocabulary(self):
+        run = execute_one("vlc.mp4.view", _faulted("binder-flaky"))
+        assert tuple(run.fault_counters) == COUNTER_KEYS
+        assert run.fault_counters["binder_failed"] > 0
+        assert run.fault_counters["binder_failed"] == (
+            run.fault_counters["binder_dropped"]
+            + run.fault_counters["binder_retried"]
+        )
+
+    def test_faultless_runs_report_no_counters(self):
+        run = execute_one("vlc.mp4.view", FAST)
+        assert run.fault_counters == {}
+        assert "faults" not in run.to_json_dict()
+
+    def test_kill_restart_and_frame_collapse_ordering(self):
+        """sf-kill collapses composited frames; sf-restart recovers some
+        of them; the baseline keeps them all."""
+        base = execute_one("vlc.mp4.view", FAST)
+        kill = execute_one("vlc.mp4.view", _faulted("sf-kill"))
+        restart = execute_one("vlc.mp4.view", _faulted("sf-restart"))
+        assert kill.fault_counters["threads_killed"] == 1
+        assert kill.fault_counters["threads_restarted"] == 0
+        assert restart.fault_counters["threads_killed"] == 1
+        assert restart.fault_counters["threads_restarted"] == 1
+        frames = lambda run: run.meta.get("sf_frames", 0)  # noqa: E731
+        assert frames(kill) < frames(restart) <= frames(base)
+
+    def test_eviction_storm_counts_every_storm(self):
+        run = execute_one("osmand.map.view", _faulted("cache-storm"))
+        assert run.fault_counters["evictions"] == 3
+        assert run.fault_counters["evicted_bytes"] > 0
+
+    def test_throttle_slows_the_run(self):
+        base = execute_one("vlc.mp4.view", FAST)
+        slow = execute_one("vlc.mp4.view", _faulted("throttle"))
+        assert slow.fault_counters["throttle_events"] >= 1
+        assert slow.total_refs < base.total_refs
+
+
+# ----------------------------------------------------------------------
+# The sweep axis
+
+
+class TestFaultsAxis:
+    def test_parse_axis_maps_none_and_plan_names(self):
+        axis = parse_axis("faults=none,binder-flaky,sf-kill")
+        assert axis.name == "faults"
+        assert axis.values == (None, "binder-flaky", "sf-kill")
+
+    def test_unknown_plan_value_is_rejected_up_front(self):
+        with pytest.raises(ConfigError, match="warp-core"):
+            SweepAxis("faults", (None, "warp-core"))
+
+    def test_apply_resolves_names_to_plans(self):
+        axis = SweepAxis("faults", (None, "sf-kill"))
+        assert axis.apply(FAST, None).faults is None
+        assert axis.apply(FAST, "sf-kill").faults == fault_plan("sf-kill")
+
+
+# ----------------------------------------------------------------------
+# The fleet mix
+
+
+class TestFleetFaultMix:
+    def test_default_mix_keeps_historical_spec_bytes_and_fleet(self):
+        """A spec that predates the fault axis must serialise (and
+        digest) exactly as it always did, and its population report must
+        keep its historical table shape."""
+        spec = FleetSpec(devices=16)
+        assert "fault_mix" not in spec.to_json_dict()
+        assert spec.digest() == FleetSpec(
+            devices=16, fault_mix=((None, 1.0),)
+        ).digest()
+        fleet = spec.sample()
+        assert all(device.fault is None for device in fleet)
+        assert all(device.config.faults is None for device in fleet)
+        assert "fault" not in spec.population(fleet)
+
+    def test_mixed_fleet_draws_plans_deterministically(self):
+        spec = FleetSpec(
+            devices=40,
+            fault_mix=(("binder-flaky", 0.5), (None, 0.5)),
+        )
+        fleet = spec.sample()
+        assert [d.fault for d in fleet] == [d.fault for d in spec.sample()]
+        flaky = [d for d in fleet if d.fault == "binder-flaky"]
+        clean = [d for d in fleet if d.fault is None]
+        assert flaky and clean
+        assert all(
+            d.config.faults == fault_plan("binder-flaky") for d in flaky
+        )
+        assert all(d.config.faults is None for d in clean)
+        table = spec.population(fleet)["fault"]
+        assert table == {
+            "binder-flaky": len(flaky), "none": len(clean)
+        }
+        assert "fault_mix" in spec.to_json_dict()
+
+    def test_unknown_plan_in_mix_is_rejected(self):
+        with pytest.raises(ConfigError, match="warp-core"):
+            FleetSpec(devices=4, fault_mix=(("warp-core", 1.0),))
+
+
+# ----------------------------------------------------------------------
+# Analysis: the absorbed-vs-amplified report and headline claims
+
+
+@pytest.fixture(scope="module")
+def fault_sweep():
+    spec = SweepSpec(
+        benches=("vlc.mp4.view",),
+        axes=(SweepAxis("faults", (None, "binder-flaky", "sf-kill")),),
+        base=FAST,
+    )
+    return SweepRunner(backend=SerialBackend()).run(spec)
+
+
+class TestFaultAnalysis:
+    def test_report_rows_and_verdicts(self, fault_sweep):
+        rows = fault_report(fault_sweep)
+        assert [row.plan for row in rows] == ["binder-flaky", "sf-kill"]
+        by_plan = {row.plan: row for row in rows}
+        assert by_plan["binder-flaky"].verdict == "absorbed"
+        assert by_plan["sf-kill"].verdict == "amplified"
+        assert by_plan["sf-kill"].frames_ratio < 0.75
+        for row in rows:
+            assert row.bench_id == "vlc.mp4.view"
+            assert sum(row.counters.values()) > 0
+
+    def test_render_is_a_table(self, fault_sweep):
+        text = render_fault_report(fault_report(fault_sweep))
+        lines = text.splitlines()
+        assert lines[0].split()[:3] == ["benchmark", "context", "plan"]
+        assert any("binder-flaky" in line for line in lines)
+        assert any("amplified" in line for line in lines)
+
+    def test_headline_claims_hold(self, fault_sweep):
+        claims = evaluate_fault_claims(fault_sweep)
+        assert [claim.claim_id for claim in claims] == [
+            "fault-binder-absorbed", "fault-sf-kill-amplified",
+        ]
+        assert all(claim.holds for claim in claims)
+
+    def test_spec_benches_fall_back_to_refs_delta(self):
+        """No frame pipeline: the verdict comes from total references."""
+        sweep = SweepRunner(backend=SerialBackend()).run(SweepSpec(
+            benches=("999.specrand",),
+            axes=(SweepAxis("faults", (None, "binder-flaky")),),
+            base=FAST,
+        ))
+        (row,) = fault_report(sweep)
+        assert row.frames_ratio is None
+        assert row.verdict == "absorbed"
+        with pytest.raises(AnalysisError, match="binder-flaky.*sf-kill"):
+            evaluate_fault_claims(sweep)
+
+    def test_report_needs_a_faults_axis(self):
+        sweep = SweepRunner(backend=SerialBackend()).run(SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("seed", (1, 2)),),
+            base=FAST,
+        ))
+        with pytest.raises(AnalysisError, match="faults"):
+            fault_report(sweep)
+
+    def test_report_needs_a_baseline_cell(self):
+        sweep = SweepRunner(backend=SerialBackend()).run(SweepSpec(
+            benches=("countdown.main",),
+            axes=(SweepAxis("faults", ("binder-flaky",)),),
+            base=FAST,
+        ))
+        with pytest.raises(AnalysisError, match="baseline"):
+            fault_report(sweep)

@@ -77,6 +77,16 @@ def test_run_config_from_json_rejects_degenerate_windows():
     assert RunConfig.from_json_dict(good) == RunConfig()
 
 
+def test_run_config_from_json_names_unknown_keys():
+    """An unrecognised key used to surface as a bare ``TypeError`` from
+    the dataclass constructor; it must be a ConfigError naming the key."""
+    from repro.errors import ConfigError
+
+    raw = {**RunConfig().to_json_dict(), "warp_factor": 9}
+    with pytest.raises(ConfigError, match="warp_factor"):
+        RunConfig.from_json_dict(raw)
+
+
 def test_quick_config_sane():
     assert QUICK_CONFIG.duration_ticks > 0
     assert QUICK_CONFIG.settle_ticks > 0

@@ -275,7 +275,12 @@ class TestRemoteCacheBackend:
             assert backend.get("x", self.CFG) is None
         assert backend.remote_misses == 1
 
-    def test_unreachable_service_warns_once_and_degrades(self, tmp_path):
+    def test_unreachable_service_warns_once_and_degrades(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service.client import ENV_WARNED
+
+        monkeypatch.delenv(ENV_WARNED, raising=False)
         # A port nothing listens on: connection refused immediately.
         local = ResultCache(str(tmp_path))
         backend = RemoteCacheBackend(
@@ -293,6 +298,32 @@ class TestRemoteCacheBackend:
         ]
         assert len(unreachable) == 1
         assert local.get("x", self.CFG) == run
+
+    def test_unreachable_warning_deduped_across_workers(self, monkeypatch):
+        """``--jobs N`` rebuilds this backend once per pool worker; the
+        env-flag handshake means only the first process to find the URL
+        down warns, while later backends go quiet but still degrade.  A
+        *different* down URL is fresh news and warns again."""
+        from repro.service.client import ENV_WARNED
+
+        monkeypatch.delenv(ENV_WARNED, raising=False)
+
+        def probe(url):
+            backend = RemoteCacheBackend(CacheClient(url, timeout=0.5))
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert backend.get("x", self.CFG) is None
+            assert backend._down
+            return [w for w in caught if "unreachable" in str(w.message)]
+
+        assert len(probe("http://127.0.0.1:9")) == 1
+        import os
+
+        assert os.environ[ENV_WARNED] == "http://127.0.0.1:9"
+        # A second worker hitting the same dead URL inherits the flag.
+        assert probe("http://127.0.0.1:9") == []
+        # A different dead URL still gets its one warning.
+        assert len(probe("http://127.0.0.1:19")) == 1
 
     def test_rejects_non_http_url(self):
         with pytest.raises(ConfigError):

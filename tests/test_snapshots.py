@@ -471,6 +471,48 @@ class TestDiskTier:
         assert snapshots.snapshot_gc(root, max_age=0.0).removed_entries == 1
         assert [n for n in os.listdir(root) if n.endswith(".blob")] == []
 
+    def test_gc_folds_dead_writers_stats_into_the_base_file(self, tmp_path):
+        """Per-session stats files from exited writers are merged into
+        ``_stats.base.json`` (so the directory stops accumulating one
+        file per historical process) while the aggregate totals — and
+        live writers' files — are preserved; ``dry_run`` touches nothing."""
+        import json
+
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        counters = dict.fromkeys(
+            ("hits", "misses", "memory_hits", "disk_hits",
+             "boots", "publishes", "seed_deltas"), 0,
+        )
+        dead = 4_000_000  # beyond linux pid_max: definitely not alive
+        (tmp_path / "store" / f"_stats.{dead}.deadbeef.json").write_text(
+            json.dumps({**counters, "boots": 2, "hits": 5})
+        )
+        (tmp_path / "store" / f"_stats.{dead + 1}.cafecafe.json").write_text(
+            json.dumps({**counters, "boots": 1, "disk_hits": 3})
+        )
+        live = (tmp_path / "store" /
+                f"_stats.{os.getpid()}.12345678.json")
+        live.write_text(json.dumps({**counters, "misses": 7}))
+        before = snapshots.aggregate_disk_stats(root)
+        assert (before["boots"], before["hits"], before["misses"],
+                before["disk_hits"]) == (3, 5, 7, 3)
+
+        snapshots.snapshot_gc(root, max_entries=10, dry_run=True)
+        assert (tmp_path / "store" / f"_stats.{dead}.deadbeef.json").exists()
+
+        snapshots.snapshot_gc(root, max_entries=10)
+        names = set(os.listdir(root))
+        assert f"_stats.{dead}.deadbeef.json" not in names
+        assert f"_stats.{dead + 1}.cafecafe.json" not in names
+        assert live.name in names                  # live writer untouched
+        assert "_stats.base.json" in names
+        assert snapshots.aggregate_disk_stats(root) == before
+
+        # Idempotent: folding again moves nothing and changes no totals.
+        snapshots.snapshot_gc(root, max_entries=10)
+        assert snapshots.aggregate_disk_stats(root) == before
+
     def test_gc_sweeps_stale_tmp_and_lock_files(self, tmp_path):
         root = str(tmp_path / "store")
         os.makedirs(root)
